@@ -1,0 +1,63 @@
+package pbmg
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCLIRoundTrip builds the mgtune and mgsolve binaries and exercises the
+// tune-once / solve-many workflow end to end: train a tiny configuration,
+// solve with it, and render the tuned cycle — the PetaBricks configuration-
+// file lifecycle of §3.2.1.
+func TestCLIRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	build := func(name string) string {
+		bin := filepath.Join(dir, name)
+		cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+		cmd.Env = append(os.Environ(), "GOFLAGS=-mod=mod")
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", name, err, out)
+		}
+		return bin
+	}
+	mgtune := build("mgtune")
+	mgsolve := build("mgsolve")
+
+	cfg := filepath.Join(dir, "tuned.json")
+	out, err := exec.Command(mgtune,
+		"-size", "33", "-machine", "intel-harpertown", "-workers", "1",
+		"-o", cfg, "-q").CombinedOutput()
+	if err != nil {
+		t.Fatalf("mgtune: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "tuned for intel-harpertown up to N=33") {
+		t.Fatalf("unexpected mgtune output: %s", out)
+	}
+	if _, err := os.Stat(cfg); err != nil {
+		t.Fatalf("config not written: %v", err)
+	}
+
+	out, err = exec.Command(mgsolve,
+		"-config", cfg, "-size", "33", "-acc", "1e5", "-workers", "1",
+		"-cycle", "-v").CombinedOutput()
+	if err != nil {
+		t.Fatalf("mgsolve: %v\n%s", err, out)
+	}
+	text := string(out)
+	for _, want := range []string{"tuned cycle shape", "tuned call tree", "requested accuracy 1e+05", "achieved"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("mgsolve output missing %q:\n%s", want, text)
+		}
+	}
+
+	// Oversized request must fail cleanly.
+	if out, err := exec.Command(mgsolve, "-config", cfg, "-size", "65", "-workers", "1").CombinedOutput(); err == nil {
+		t.Fatalf("mgsolve accepted a grid beyond the tuned size:\n%s", out)
+	}
+}

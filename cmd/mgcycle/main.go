@@ -1,0 +1,56 @@
+// Command mgcycle renders tuned multigrid cycle shapes and call stacks —
+// the visual artifacts of the paper's Figures 4, 5, and 14 — using the
+// deterministic architecture cost models.
+//
+// Usage:
+//
+//	mgcycle -exp fig5 -level 8
+//	mgcycle -exp fig14 -level 9
+//	mgcycle -exp fig4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pbmg/internal/experiments"
+	"pbmg/internal/grid"
+)
+
+func main() {
+	exp := flag.String("exp", "fig5", "which figure to render: fig4, fig5, fig5b, or fig14")
+	level := flag.Int("level", 8, "finest multigrid level (grid side 2^k+1)")
+	seed := flag.Int64("seed", 20090101, "training seed")
+	quiet := flag.Bool("q", false, "suppress progress output")
+	flag.Parse()
+
+	o := experiments.Opts{MaxLevel: *level, Seed: *seed}
+	if !*quiet {
+		o.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "mgcycle: "+format+"\n", args...)
+		}
+	}
+	r := experiments.NewRunner(o)
+	defer r.Close()
+
+	var out string
+	var err error
+	switch *exp {
+	case "fig4":
+		out, err = r.Fig4()
+	case "fig5":
+		out, err = r.Fig5(grid.Unbiased)
+	case "fig5b":
+		out, err = r.Fig5(grid.Biased)
+	case "fig14":
+		out, err = r.Fig14()
+	default:
+		err = fmt.Errorf("unknown experiment %q (want fig4, fig5, fig5b, fig14)", *exp)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mgcycle:", err)
+		os.Exit(1)
+	}
+	fmt.Print(out)
+}

@@ -1,0 +1,67 @@
+// Quickstart: tune a solver for this machine, solve a random Poisson
+// problem at two accuracy requirements, and show the tuned cycle shapes.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+	"time"
+
+	"pbmg"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("quickstart: ")
+
+	const size = 129 // grid side, 2^7 + 1
+
+	// Tune for the host machine. In a real deployment you would do this
+	// once and Save/Load the configuration.
+	start := time.Now()
+	solver, err := pbmg.Tune(pbmg.Options{
+		MaxSize:      size,
+		Distribution: pbmg.Unbiased,
+		Workers:      runtime.NumCPU(),
+		Seed:         1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer solver.Close()
+	fmt.Printf("tuned for %s up to N=%d in %v\n\n", solver.Machine(), size, time.Since(start).Round(time.Millisecond))
+
+	// A random problem from the paper's unbiased distribution.
+	p := pbmg.NewProblem(size, pbmg.Unbiased, 42)
+	pbmg.Reference(p) // compute the exact solution so we can grade ourselves
+
+	for _, accuracy := range []float64{1e3, 1e9} {
+		x := p.NewState()
+		start = time.Now()
+		if err := solver.Solve(x, p.B, accuracy); err != nil {
+			log.Fatal(err)
+		}
+		elapsed := time.Since(start)
+		fmt.Printf("accuracy %8.0e: solved in %10v, achieved %.3g\n",
+			accuracy, elapsed.Round(time.Microsecond), p.AccuracyOf(x))
+	}
+
+	// The tuned algorithm is a cycle shape, not a fixed V: show how it
+	// differs between a crude and a precise solve.
+	fmt.Println("\ntuned cycle for accuracy 1e3 (o relax, \\ restrict, / interpolate, D direct, ~k~ SOR):")
+	shape, err := solver.CycleShape(size, 1e3, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(shape)
+	fmt.Println("\ntuned cycle for accuracy 1e9:")
+	if shape, err = solver.CycleShape(size, 1e9, true); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(shape)
+}

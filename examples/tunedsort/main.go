@@ -1,0 +1,142 @@
+// Tunedsort: the paper's motivating example of algorithmic choice (§1) —
+// a sort that switches from O(n log n) merge sort to O(n²) insertion sort
+// below a machine-tuned cutoff — expressed with the generic PetaBricks-style
+// framework (internal/pbx) that also underlies the multigrid tuner.
+//
+// The example tunes the cutoff two ways: with the bottom-up population
+// autotuner over rule selectors (§3.2.2), and with the n-ary scalar search
+// PetaBricks uses for cutoff-style parameters.
+//
+// Run with:
+//
+//	go run ./examples/tunedsort
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+	"time"
+
+	"pbmg/internal/pbx"
+)
+
+func buildTransform() *pbx.Transform[[]int] {
+	t := &pbx.Transform[[]int]{
+		Name: "sort",
+		Size: func(s []int) int { return len(s) },
+	}
+	t.Rules = []pbx.Rule[[]int]{
+		{
+			Name: "insertion",
+			Apply: func(self *pbx.Instance[[]int], s []int) {
+				for i := 1; i < len(s); i++ {
+					v := s[i]
+					j := i - 1
+					for j >= 0 && s[j] > v {
+						s[j+1] = s[j]
+						j--
+					}
+					s[j+1] = v
+				}
+			},
+		},
+		{
+			Name: "merge",
+			Apply: func(self *pbx.Instance[[]int], s []int) {
+				if len(s) < 2 {
+					return
+				}
+				mid := len(s) / 2
+				left := append([]int(nil), s[:mid]...)
+				right := append([]int(nil), s[mid:]...)
+				self.Run(left) // recursion re-dispatches: cutoffs apply here
+				self.Run(right)
+				i, j := 0, 0
+				for k := range s {
+					if i < len(left) && (j >= len(right) || left[i] <= right[j]) {
+						s[k] = left[i]
+						i++
+					} else {
+						s[k] = right[j]
+						j++
+					}
+				}
+			},
+		},
+	}
+	return t
+}
+
+func randomSlice(rng *rand.Rand, n int) []int {
+	s := make([]int, n)
+	for i := range s {
+		s[i] = rng.Intn(1 << 30)
+	}
+	return s
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tunedsort: ")
+	tr := buildTransform()
+
+	// 1) Population autotuner over rule selectors.
+	sel, err := pbx.Tune(pbx.TuneConfig[[]int]{
+		Transform: tr,
+		Gen:       randomSlice,
+		Clone:     func(s []int) []int { return append([]int(nil), s...) },
+		Sizes:     []int{8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096},
+		Trials:    5,
+		Seed:      1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("population tuner chose: top rule %q", tr.Rules[sel.Top].Name)
+	for _, l := range sel.Levels {
+		fmt.Printf(", %q for sizes ≤ %d", tr.Rules[l.Rule].Name, l.MaxSize)
+	}
+	fmt.Println()
+
+	// 2) N-ary search over the cutoff parameter directly.
+	rng := rand.New(rand.NewSource(2))
+	inputs := make([][]int, 8)
+	for i := range inputs {
+		inputs[i] = randomSlice(rng, 1<<14)
+	}
+	bench := func(cutoff int) float64 {
+		s := &pbx.Selector{Levels: []pbx.Level{{MaxSize: cutoff, Rule: tr.RuleIndex("insertion")}}, Top: tr.RuleIndex("merge")}
+		inst := pbx.NewInstance(tr, s, nil)
+		start := time.Now()
+		for _, in := range inputs {
+			data := append([]int(nil), in...)
+			inst.Run(data)
+		}
+		return time.Since(start).Seconds()
+	}
+	cutoff := pbx.NarySearch(2, 512, 4, bench)
+	fmt.Printf("n-ary search chose insertion-sort cutoff %d\n", cutoff)
+
+	// Compare the tuned hybrid against its pure ingredients.
+	tuned := pbx.NewInstance(tr, &pbx.Selector{
+		Levels: []pbx.Level{{MaxSize: cutoff, Rule: tr.RuleIndex("insertion")}},
+		Top:    tr.RuleIndex("merge"),
+	}, nil)
+	pureMerge := pbx.NewInstance(tr, &pbx.Selector{Top: tr.RuleIndex("merge")}, nil)
+
+	data := randomSlice(rng, 1<<16)
+	timeOf := func(inst *pbx.Instance[[]int]) time.Duration {
+		d := append([]int(nil), data...)
+		start := time.Now()
+		inst.Run(d)
+		if !sort.IntsAreSorted(d) {
+			log.Fatal("result not sorted")
+		}
+		return time.Since(start)
+	}
+	tm, tt := timeOf(pureMerge), timeOf(tuned)
+	fmt.Printf("sorting 65536 ints: pure merge %v, tuned hybrid %v (%.2fx)\n",
+		tm.Round(time.Microsecond), tt.Round(time.Microsecond), float64(tm)/float64(tt))
+}

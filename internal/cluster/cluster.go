@@ -1,0 +1,184 @@
+// Package cluster explores the paper's first future-work direction (§6):
+// tuning multi-level algorithms across distributed memory. The specific
+// problem the paper poses is when to migrate the working set to a smaller
+// subset of machines as the grid coarsens — fewer nodes reduce the
+// surface-area-to-volume ratio of each node's block (cheaper halo
+// exchanges) but migrating costs a data transfer. Exactly as the paper
+// suggests, a dynamic-programming search compares the costs of the
+// "optimal" sub-algorithms under each candidate layout.
+//
+// The machine is a simple but standard model of a 2D block-decomposed
+// stencil cluster: per-sweep compute scales with points/nodes, each sweep
+// exchanges a halo of boundary rows/columns (α-β message cost), and
+// changing the node count between levels pays a grid-sized redistribution.
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"pbmg/internal/grid"
+)
+
+// Machine models a homogeneous cluster for 2D stencil computation.
+type Machine struct {
+	// Nodes is the total number of machines available.
+	Nodes int
+	// ComputePerPoint is the time one node spends per interior point per
+	// sweep.
+	ComputePerPoint float64
+	// HaloLatency is the fixed cost (α) of one halo message.
+	HaloLatency float64
+	// HaloByteTime is the per-byte cost (β) of halo traffic.
+	HaloByteTime float64
+	// MigrateByteTime is the per-byte cost of redistributing the grid when
+	// the node count changes between levels.
+	MigrateByteTime float64
+	// SweepsPerLevel is the number of stencil passes a cycle performs per
+	// level visit (relax + residual + transfer traffic), default 4.
+	SweepsPerLevel int
+}
+
+func (m Machine) defaults() Machine {
+	if m.SweepsPerLevel == 0 {
+		m.SweepsPerLevel = 4
+	}
+	return m
+}
+
+// validNodeCounts lists the candidate node counts: powers of two up to the
+// machine size (square-ish block decompositions).
+func (m Machine) validNodeCounts() []int {
+	var out []int
+	for n := 1; n <= m.Nodes; n *= 2 {
+		out = append(out, n)
+	}
+	return out
+}
+
+// LevelCost prices one level visit (SweepsPerLevel stencil passes) on the
+// given node count.
+func (m Machine) LevelCost(level, nodes int) float64 {
+	m = m.defaults()
+	n := grid.SizeOfLevel(level)
+	points := float64(n-2) * float64(n-2)
+	compute := points / float64(nodes) * m.ComputePerPoint
+	comm := 0.0
+	if nodes > 1 {
+		// Each node's block is roughly (N/√p)², so each sweep exchanges
+		// four halo edges of N/√p points.
+		edge := float64(n) / math.Sqrt(float64(nodes))
+		comm = 4*m.HaloLatency + 4*edge*8*m.HaloByteCost()
+	}
+	return float64(m.SweepsPerLevel) * (compute + comm)
+}
+
+// HaloByteCost returns the per-byte halo cost (exposed for tests).
+func (m Machine) HaloByteCost() float64 { return m.HaloByteTime }
+
+// MigrateCost prices redistributing a level's grid between two node counts.
+// Equal counts are free; otherwise the whole grid moves once.
+func (m Machine) MigrateCost(level, from, to int) float64 {
+	if from == to {
+		return 0
+	}
+	n := grid.SizeOfLevel(level)
+	return float64(n) * float64(n) * 8 * m.MigrateByteTime
+}
+
+// Layout records the tuned node count per level (index 1..MaxLevel; index 0
+// unused).
+type Layout struct {
+	Nodes []int
+}
+
+// At returns the node count for a level.
+func (l *Layout) At(level int) int {
+	if level < 1 || level >= len(l.Nodes) {
+		return 1
+	}
+	return l.Nodes[level]
+}
+
+// String renders the layout compactly, finest level first.
+func (l *Layout) String() string {
+	s := ""
+	for level := len(l.Nodes) - 1; level >= 1; level-- {
+		if s != "" {
+			s += " "
+		}
+		s += fmt.Sprintf("L%d:%d", level, l.Nodes[level])
+	}
+	return s
+}
+
+// CycleCost prices one V-shaped traversal (down and back up) under the
+// layout: every level is visited once with its work cost, and each change
+// of node count between adjacent levels pays two migrations (down and up).
+func CycleCost(m Machine, l *Layout, maxLevel int) float64 {
+	m = m.defaults()
+	total := 0.0
+	for level := 1; level <= maxLevel; level++ {
+		total += m.LevelCost(level, l.At(level))
+	}
+	for level := maxLevel; level > 1; level-- {
+		// Migration happens on the coarse grid being handed off.
+		total += 2 * m.MigrateCost(level-1, l.At(level), l.At(level-1))
+	}
+	return total
+}
+
+// OptimalLayout runs the dynamic program the paper sketches: bottom-up over
+// levels, tracking for every candidate node count the cheapest cost of
+// handling all coarser levels, including migration between layouts — the
+// distributed analogue of substituting tuned sub-algorithms.
+func OptimalLayout(m Machine, maxLevel int) *Layout {
+	m = m.defaults()
+	counts := m.validNodeCounts()
+	// best[c] = cheapest cost of levels 1..level given level runs on
+	// counts[c]; choice[level][c] = index of the coarser level's count.
+	best := make([]float64, len(counts))
+	choice := make([][]int, maxLevel+1)
+	for ci, c := range counts {
+		best[ci] = m.LevelCost(1, c)
+	}
+	for level := 2; level <= maxLevel; level++ {
+		choice[level] = make([]int, len(counts))
+		next := make([]float64, len(counts))
+		for ci, c := range counts {
+			bestCost := math.Inf(1)
+			bestSub := 0
+			for si, sc := range counts {
+				cost := best[si] + 2*m.MigrateCost(level-1, c, sc)
+				if cost < bestCost {
+					bestCost, bestSub = cost, si
+				}
+			}
+			next[ci] = bestCost + m.LevelCost(level, c)
+			choice[level][ci] = bestSub
+		}
+		best = next
+	}
+	// The finest level uses all nodes (the problem arrives distributed).
+	top := len(counts) - 1
+	layout := &Layout{Nodes: make([]int, maxLevel+1)}
+	ci := top
+	for level := maxLevel; level >= 1; level-- {
+		layout.Nodes[level] = counts[ci]
+		if level > 1 {
+			ci = choice[level][ci]
+		}
+	}
+	return layout
+}
+
+// MigrationLevel returns the finest level at which the layout has collapsed
+// to a single node, or 0 if it never does.
+func MigrationLevel(l *Layout) int {
+	for level := len(l.Nodes) - 1; level >= 1; level-- {
+		if l.Nodes[level] == 1 {
+			return level
+		}
+	}
+	return 0
+}

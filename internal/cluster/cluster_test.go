@@ -1,0 +1,170 @@
+package cluster
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// testMachine is a 16-node cluster with mildly expensive communication.
+func testMachine() Machine {
+	return Machine{
+		Nodes:           16,
+		ComputePerPoint: 1,
+		HaloLatency:     5000,
+		HaloByteTime:    2,
+		MigrateByteTime: 1,
+	}
+}
+
+func TestLevelCostDecreasesWithNodesAtLargeSizes(t *testing.T) {
+	m := testMachine()
+	// At a large level, more nodes must be faster despite halo traffic.
+	if m.LevelCost(11, 16) >= m.LevelCost(11, 1) {
+		t.Fatal("16 nodes should beat 1 node at N=2049")
+	}
+	// At a tiny level, one node must be faster (latency dominates).
+	if m.LevelCost(2, 16) <= m.LevelCost(2, 1) {
+		t.Fatal("1 node should beat 16 nodes at N=5")
+	}
+}
+
+func TestMigrateCost(t *testing.T) {
+	m := testMachine()
+	if m.MigrateCost(5, 8, 8) != 0 {
+		t.Fatal("same-count migration should be free")
+	}
+	if m.MigrateCost(5, 8, 4) <= 0 {
+		t.Fatal("migration must cost something")
+	}
+	if m.MigrateCost(6, 8, 4) <= m.MigrateCost(5, 8, 4) {
+		t.Fatal("bigger grids must cost more to migrate")
+	}
+}
+
+func TestOptimalLayoutShape(t *testing.T) {
+	m := testMachine()
+	l := OptimalLayout(m, 11)
+	if l.At(11) != 16 {
+		t.Fatalf("finest level must use all nodes, got %d", l.At(11))
+	}
+	// Node counts must be non-increasing toward coarser levels: there is
+	// never a reason to grow nodes on a smaller grid.
+	for level := 11; level > 1; level-- {
+		if l.At(level-1) > l.At(level) {
+			t.Fatalf("layout grows nodes at level %d: %s", level-1, l.String())
+		}
+	}
+	if !strings.Contains(l.String(), "L11:16") {
+		t.Fatalf("String() = %q", l.String())
+	}
+}
+
+func TestOptimalLayoutBeatsStaticLayouts(t *testing.T) {
+	m := testMachine()
+	const maxLevel = 11
+	opt := OptimalLayout(m, maxLevel)
+	optCost := CycleCost(m, opt, maxLevel)
+	for _, nodes := range []int{1, 4, 16} {
+		static := &Layout{Nodes: make([]int, maxLevel+1)}
+		for level := 1; level <= maxLevel; level++ {
+			static.Nodes[level] = nodes
+		}
+		static.Nodes[maxLevel] = 16 // problem arrives on all nodes
+		if nodes != 16 {
+			// Account for one migration off the full machine.
+			static.Nodes[maxLevel] = 16
+		}
+		cost := CycleCost(m, static, maxLevel)
+		if optCost > cost*1.0001 {
+			t.Fatalf("optimal layout (%.4g) worse than static %d nodes (%.4g)", optCost, nodes, cost)
+		}
+	}
+}
+
+func TestHigherLatencyMigratesEarlier(t *testing.T) {
+	// The paper's motivation: when communication is expensive, shed nodes
+	// at finer levels. The level at which the layout collapses to one node
+	// must not decrease as halo latency rises.
+	low := testMachine()
+	high := testMachine()
+	high.HaloLatency *= 100
+	ml, mh := MigrationLevel(OptimalLayout(low, 11)), MigrationLevel(OptimalLayout(high, 11))
+	if mh < ml {
+		t.Fatalf("higher latency should collapse at a finer level: low=%d high=%d", ml, mh)
+	}
+	if mh == 0 {
+		t.Fatal("very high latency should force collapse to one node somewhere")
+	}
+}
+
+func TestFreeMigrationCollapsesEagerly(t *testing.T) {
+	m := testMachine()
+	m.MigrateByteTime = 0
+	l := OptimalLayout(m, 10)
+	// With free migration every level independently picks its best count;
+	// coarse levels must run on one node.
+	if l.At(2) != 1 || l.At(3) != 1 {
+		t.Fatalf("free migration should shed nodes at coarse levels: %s", l.String())
+	}
+}
+
+func TestMigrationLevelNone(t *testing.T) {
+	l := &Layout{Nodes: []int{0, 4, 4, 8}}
+	if MigrationLevel(l) != 0 {
+		t.Fatal("layout never collapses; MigrationLevel should be 0")
+	}
+}
+
+func TestLayoutAtOutOfRange(t *testing.T) {
+	l := &Layout{Nodes: []int{0, 2}}
+	if l.At(0) != 1 || l.At(9) != 1 {
+		t.Fatal("out-of-range levels should default to 1 node")
+	}
+}
+
+// Property: the DP layout is never beaten by any single-migration-point
+// layout (use all nodes above a threshold, one node below it).
+func TestOptimalLayoutDominatesThresholdLayoutsProperty(t *testing.T) {
+	f := func(latSeed, bwSeed uint8) bool {
+		m := testMachine()
+		m.HaloLatency = float64(1+int(latSeed)) * 100
+		m.MigrateByteTime = float64(1+int(bwSeed)) * 0.1
+		const maxLevel = 10
+		opt := CycleCost(m, OptimalLayout(m, maxLevel), maxLevel)
+		for cut := 1; cut <= maxLevel; cut++ {
+			th := &Layout{Nodes: make([]int, maxLevel+1)}
+			for level := 1; level <= maxLevel; level++ {
+				if level >= cut {
+					th.Nodes[level] = m.Nodes
+				} else {
+					th.Nodes[level] = 1
+				}
+			}
+			if opt > CycleCost(m, th, maxLevel)*1.0001 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCycleCostAdditive(t *testing.T) {
+	m := testMachine()
+	l := OptimalLayout(m, 6)
+	total := CycleCost(m, l, 6)
+	var sum float64
+	for level := 1; level <= 6; level++ {
+		sum += m.LevelCost(level, l.At(level))
+	}
+	for level := 6; level > 1; level-- {
+		sum += 2 * m.MigrateCost(level-1, l.At(level), l.At(level-1))
+	}
+	if math.Abs(total-sum) > 1e-9*total {
+		t.Fatalf("CycleCost %v != manual sum %v", total, sum)
+	}
+}

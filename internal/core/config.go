@@ -1,0 +1,101 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"pbmg/internal/grid"
+	"pbmg/internal/mg"
+)
+
+// Tuned bundles the output of a tuning run with its provenance, mirroring
+// the configuration files the PetaBricks autotuner writes after dynamic
+// tuning so that subsequent runs can reuse the choices (§3.2.1).
+type Tuned struct {
+	// Machine names the Coster the tables were tuned for.
+	Machine string `json:"machine"`
+	// Distribution is the training distribution name.
+	Distribution string `json:"distribution"`
+	// Seed reproduces the training data.
+	Seed int64 `json:"seed"`
+	// MaxLevel is the finest tuned level.
+	MaxLevel int `json:"maxLevel"`
+	// V is the tuned MULTIGRID-V table.
+	V *mg.VTable `json:"v"`
+	// F is the tuned FULL-MULTIGRID table (may be nil if only V was tuned).
+	F *mg.FTable `json:"f,omitempty"`
+}
+
+// Tune runs the complete dynamic program — V table then full-multigrid
+// table — and returns the bundle.
+func (t *Tuner) Tune() (*Tuned, error) {
+	vt, err := t.TuneV()
+	if err != nil {
+		return nil, err
+	}
+	ft, err := t.TuneFull(vt)
+	if err != nil {
+		return nil, err
+	}
+	return &Tuned{
+		Machine:      t.cfg.Coster.Name(),
+		Distribution: t.cfg.Distribution.String(),
+		Seed:         t.cfg.Seed,
+		MaxLevel:     t.cfg.MaxLevel,
+		V:            vt,
+		F:            ft,
+	}, nil
+}
+
+// DistributionValue parses the stored distribution name back into a
+// grid.Distribution (defaulting to unbiased for unknown names).
+func (t *Tuned) DistributionValue() grid.Distribution {
+	switch t.Distribution {
+	case grid.Biased.String():
+		return grid.Biased
+	case grid.PointSources.String():
+		return grid.PointSources
+	default:
+		return grid.Unbiased
+	}
+}
+
+// Validate checks both tables.
+func (t *Tuned) Validate() error {
+	if t.V == nil {
+		return fmt.Errorf("core: tuned bundle has no V table")
+	}
+	if err := t.V.Validate(); err != nil {
+		return err
+	}
+	if t.F != nil {
+		return t.F.Validate()
+	}
+	return nil
+}
+
+// Save writes the bundle as indented JSON.
+func (t *Tuned) Save(path string) error {
+	data, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		return fmt.Errorf("core: marshal tuned config: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Load reads a bundle written by Save and validates it.
+func Load(path string) (*Tuned, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: read tuned config: %w", err)
+	}
+	var t Tuned
+	if err := json.Unmarshal(data, &t); err != nil {
+		return nil, fmt.Errorf("core: parse tuned config: %w", err)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("core: loaded config invalid: %w", err)
+	}
+	return &t, nil
+}

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"pbmg/internal/grid"
+	"pbmg/internal/mg"
+	"pbmg/internal/problem"
+	"pbmg/internal/stencil"
+)
+
+// TuneFull runs the dynamic program for the FULL-MULTIGRID family (§2.4) on
+// top of an already-tuned V table. For every level and accuracy target it
+// compares a direct solve against every (estimate accuracy j, solve-phase
+// choice) combination: ESTIMATE_j followed by iterated SOR or by iterated
+// RECURSE_k, with j and k chosen independently as in the paper.
+func (t *Tuner) TuneFull(vt *mg.VTable) (*mg.FTable, error) {
+	if vt.MaxLevel() < t.cfg.MaxLevel {
+		return nil, fmt.Errorf("core: V table tuned to level %d, need %d", vt.MaxLevel(), t.cfg.MaxLevel)
+	}
+	ft := &mg.FTable{Acc: append([]float64(nil), t.cfg.Accuracies...)}
+	for level := 2; level <= t.cfg.MaxLevel; level++ {
+		row := t.tuneFullLevel(vt, ft, level)
+		ft.Plans = append(ft.Plans, row)
+		t.logf("full level %d (N=%d): %s", level, grid.SizeOfLevel(level), describeFullRow(row))
+	}
+	if err := ft.Validate(); err != nil {
+		return nil, fmt.Errorf("core: tuned full table invalid: %w", err)
+	}
+	return ft, nil
+}
+
+// fullCandidate is one measured FULL-MULTIGRID candidate.
+type fullCandidate struct {
+	plan       mg.FullPlan
+	iters      []int // solve-phase iterations per accuracy (-1 infeasible)
+	costPerAcc []float64
+}
+
+func (t *Tuner) tuneFullLevel(vt *mg.VTable, ft *mg.FTable, level int) []mg.FullPlan {
+	probs := t.training(level)
+	m := len(t.cfg.Accuracies)
+	var cands []fullCandidate
+
+	if level <= t.cfg.DirectMaxLevel {
+		d := t.measureDirect(level, probs)
+		cands = append(cands, fullCandidate{plan: mg.FullPlan{Choice: mg.FullDirect}, costPerAcc: d.costPerAcc})
+	}
+
+	for j := 0; j < m; j++ {
+		estStates, estAccs := t.runEstimates(vt, ft, level, j, probs)
+		estTr, estDur := t.timeEstimate(vt, ft, level, j, probs)
+
+		// Solve phase: iterated SOR from the estimated state.
+		sorStep := t.sorStep(level)
+		sorIters := t.countFromStates(probs, estStates, estAccs, sorStep, t.cfg.MaxSORIters)
+		sorTr, sorDur := t.timeOneIter(probs, sorStep)
+		cands = append(cands, t.priceFull(
+			mg.FullPlan{Choice: mg.FullEstimate, EstAcc: j, Solve: mg.ChoiceSOR},
+			sorIters, estTr, estDur, sorTr, sorDur))
+
+		// Solve phase: iterated standard V-cycles from the estimated state.
+		vStep := func(x, b *grid.Grid, rec mg.Recorder) { t.ws.RefVCycle(x, b, rec) }
+		vIters := t.countFromStates(probs, estStates, estAccs, vStep, t.cfg.MaxRecurseIters)
+		vTr, vDur := t.timeOneIter(probs, vStep)
+		cands = append(cands, t.priceFull(
+			mg.FullPlan{Choice: mg.FullEstimate, EstAcc: j, Solve: mg.ChoiceVCycle},
+			vIters, estTr, estDur, vTr, vDur))
+
+		// Solve phase: iterated RECURSE_k from the estimated state.
+		for k := 0; k < m; k++ {
+			ex := &mg.Executor{WS: t.ws, V: vt}
+			recStep := func(x, b *grid.Grid, rec mg.Recorder) {
+				ex.Rec = rec
+				ex.Recurse(x, b, k)
+			}
+			recIters := t.countFromStates(probs, estStates, estAccs, recStep, t.cfg.MaxRecurseIters)
+			recTr, recDur := t.timeOneIter(probs, recStep)
+			cands = append(cands, t.priceFull(
+				mg.FullPlan{Choice: mg.FullEstimate, EstAcc: j, Solve: mg.ChoiceRecurse, SolveSub: k},
+				recIters, estTr, estDur, recTr, recDur))
+		}
+	}
+
+	row := make([]mg.FullPlan, m)
+	for i := 0; i < m; i++ {
+		best := -1
+		bestCost := math.Inf(1)
+		for c, cand := range cands {
+			if cand.costPerAcc[i] < bestCost {
+				best, bestCost = c, cand.costPerAcc[i]
+			}
+		}
+		if best < 0 {
+			t.logf("full level %d acc %g: no feasible candidate, falling back to direct", level, t.cfg.Accuracies[i])
+			row[i] = mg.FullPlan{Choice: mg.FullDirect}
+			continue
+		}
+		p := cands[best].plan
+		if p.Choice == mg.FullEstimate {
+			p.Iters = cands[best].iters[i]
+		}
+		row[i] = p
+	}
+	return row
+}
+
+// sorStep returns a one-sweep SOR step at the given level.
+func (t *Tuner) sorStep(level int) stepFunc {
+	n := grid.SizeOfLevel(level)
+	omega := stencil.OmegaOpt(n)
+	return func(x, b *grid.Grid, rec mg.Recorder) { t.ws.SOR(x, b, omega, 1, rec) }
+}
+
+// runEstimates executes ESTIMATE_j once per training instance, returning
+// the post-estimate states and the accuracies already achieved.
+func (t *Tuner) runEstimates(vt *mg.VTable, ft *mg.FTable, level, j int, probs []*problem.Problem) ([]*grid.Grid, []float64) {
+	states := make([]*grid.Grid, len(probs))
+	accs := make([]float64, len(probs))
+	for i, p := range probs {
+		ex := &mg.Executor{WS: t.ws, V: vt, F: ft}
+		x := p.NewState()
+		ex.Estimate(x, p.B, j)
+		states[i] = x
+		accs[i] = p.AccuracyOf(x)
+	}
+	return states, accs
+}
+
+// timeEstimate measures one ESTIMATE_j execution (trace and wall time).
+func (t *Tuner) timeEstimate(vt *mg.VTable, ft *mg.FTable, level, j int, probs []*problem.Problem) (*mg.OpTrace, time.Duration) {
+	step := func(x, b *grid.Grid, rec mg.Recorder) {
+		ex := &mg.Executor{WS: t.ws, V: vt, F: ft, Rec: rec}
+		ex.Estimate(x, b, j)
+	}
+	return t.timeOneIter(probs, step)
+}
+
+// countFromStates counts, per accuracy target, the solve-phase iterations
+// needed when starting from the estimated states. A target already met by
+// the estimate alone needs zero iterations. Returns -1 for infeasible
+// targets (so zero remains distinguishable).
+func (t *Tuner) countFromStates(probs []*problem.Problem, states []*grid.Grid, estAccs []float64, step stepFunc, cap int) []int {
+	m := len(t.cfg.Accuracies)
+	need := make([]int, m)
+	bad := make([]bool, m)
+	for pi, p := range probs {
+		x := states[pi].Clone()
+		met := 0
+		for met < m && estAccs[pi] >= t.cfg.Accuracies[met] {
+			met++ // estimate alone already meets this target (0 iterations)
+		}
+		for it := 1; it <= cap && met < m; it++ {
+			step(x, p.B, nil)
+			acc := p.AccuracyOf(x)
+			for met < m && acc >= t.cfg.Accuracies[met] {
+				if it > need[met] {
+					need[met] = it
+				}
+				met++
+			}
+		}
+		for i := met; i < m; i++ {
+			bad[i] = true // this instance missed the target within cap
+		}
+	}
+	for i := range need {
+		if bad[i] {
+			need[i] = -1
+		}
+	}
+	return need
+}
+
+// priceFull combines estimate cost and per-iteration solve cost into a
+// per-accuracy cost vector.
+func (t *Tuner) priceFull(plan mg.FullPlan, iters []int, estTr *mg.OpTrace, estDur time.Duration, itTr *mg.OpTrace, itDur time.Duration) fullCandidate {
+	costs := make([]float64, len(iters))
+	for i, n := range iters {
+		if n < 0 {
+			costs[i] = math.Inf(1)
+			continue
+		}
+		total := &mg.OpTrace{}
+		total.Merge(estTr)
+		if n > 0 {
+			total.Merge(itTr.Scaled(n))
+		}
+		costs[i] = t.cfg.Coster.Cost(total, estDur+time.Duration(n)*itDur)
+	}
+	return fullCandidate{plan: plan, iters: iters, costPerAcc: costs}
+}
+
+func describeFullRow(row []mg.FullPlan) string {
+	s := ""
+	for i, p := range row {
+		if i > 0 {
+			s += ", "
+		}
+		switch {
+		case p.Choice == mg.FullDirect:
+			s += "direct"
+		case p.Solve == mg.ChoiceSOR:
+			s += fmt.Sprintf("est%d+sor×%d", p.EstAcc+1, p.Iters)
+		case p.Solve == mg.ChoiceVCycle:
+			s += fmt.Sprintf("est%d+vchain×%d", p.EstAcc+1, p.Iters)
+		default:
+			s += fmt.Sprintf("est%d+rec%d×%d", p.EstAcc+1, p.SolveSub+1, p.Iters)
+		}
+	}
+	return s
+}

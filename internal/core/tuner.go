@@ -1,0 +1,417 @@
+// Package core implements the paper's primary contribution: the
+// accuracy-aware dynamic-programming autotuner for multigrid (§2.2–2.4).
+//
+// The tuner proceeds bottom-up over recursion levels (grid sizes 2^k+1).
+// At each level it considers, for every discrete accuracy target p_i, the
+// three algorithmic families — direct band Cholesky, iterated SOR with
+// ω_opt, and iterated RECURSE_j steps whose coarse-grid call is the tuned
+// MULTIGRID-V_j one level down — measures on shared training data how many
+// iterations each needs to reach p_i, prices each candidate with a
+// pluggable cost function (host wall-clock or a simulated architecture
+// model), and keeps the cheapest. Because all accuracies at level k−1 are
+// tuned before level k begins, optimal sub-algorithms of every accuracy are
+// available for substitution, exactly as the paper's dynamic program
+// requires. TuneFull extends the same construction to full-multigrid cycles
+// with their estimation phase (§2.4).
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"pbmg/internal/arch"
+	"pbmg/internal/grid"
+	"pbmg/internal/mg"
+	"pbmg/internal/problem"
+	"pbmg/internal/refsol"
+	"pbmg/internal/sched"
+	"pbmg/internal/stencil"
+)
+
+// DefaultAccuracies returns the paper's discrete accuracy targets
+// (p_i) = (10, 10³, 10⁵, 10⁷, 10⁹).
+func DefaultAccuracies() []float64 {
+	return []float64{1e1, 1e3, 1e5, 1e7, 1e9}
+}
+
+// Config controls a tuning run. The zero value is not usable; fill at least
+// MaxLevel and use Defaults to populate the rest.
+type Config struct {
+	// Accuracies are the discrete targets p_i, ascending.
+	Accuracies []float64
+	// MaxLevel is the finest level to tune (grid side 2^MaxLevel + 1).
+	MaxLevel int
+	// Distribution selects the training-data distribution (§4).
+	Distribution grid.Distribution
+	// TrainingInstances is the number of training problems per level.
+	TrainingInstances int
+	// Seed makes training data and hence tuning deterministic.
+	Seed int64
+	// Coster prices candidates: arch.WallClock for the host machine or an
+	// *arch.Model for a simulated architecture.
+	Coster arch.Coster
+	// Pool parallelizes kernels during wall-clock measurement (nil: serial).
+	Pool *sched.Pool
+	// DirectMaxLevel is the largest level at which the direct choice is
+	// explored; its O(N⁴) factorization makes it useless beyond coarse
+	// levels, and skipping it bounds tuning time.
+	DirectMaxLevel int
+	// MaxSORIters caps iteration counting for the SOR choice; targets not
+	// reached within the cap mark the choice infeasible at that accuracy.
+	MaxSORIters int
+	// MaxRecurseIters caps iteration counting for recursive choices.
+	MaxRecurseIters int
+	// Smoother selects the in-cycle relaxation kernel (default: the paper's
+	// red-black SOR with ω = 1.15; mg.SmootherJacobi reproduces the
+	// weighted-Jacobi alternative the paper evaluated and rejected, §2.3).
+	Smoother mg.Smoother
+	// Logf, when non-nil, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+// Defaults returns cfg with unset fields filled with the paper's settings.
+func (cfg Config) Defaults() Config {
+	if cfg.Accuracies == nil {
+		cfg.Accuracies = DefaultAccuracies()
+	}
+	if cfg.TrainingInstances == 0 {
+		cfg.TrainingInstances = 3
+	}
+	if cfg.Coster == nil {
+		cfg.Coster = arch.WallClock{}
+	}
+	if cfg.DirectMaxLevel == 0 {
+		cfg.DirectMaxLevel = 7
+	}
+	if cfg.MaxSORIters == 0 {
+		cfg.MaxSORIters = 400
+	}
+	if cfg.MaxRecurseIters == 0 {
+		cfg.MaxRecurseIters = 60
+	}
+	return cfg
+}
+
+func (cfg Config) validate() error {
+	if cfg.MaxLevel < 2 {
+		return fmt.Errorf("core: MaxLevel %d too small (need ≥ 2)", cfg.MaxLevel)
+	}
+	for i := 1; i < len(cfg.Accuracies); i++ {
+		if cfg.Accuracies[i] <= cfg.Accuracies[i-1] {
+			return fmt.Errorf("core: accuracies must ascend")
+		}
+	}
+	if len(cfg.Accuracies) == 0 {
+		return fmt.Errorf("core: no accuracy targets")
+	}
+	return nil
+}
+
+// Tuner runs the dynamic program. Create with New; not safe for concurrent
+// use.
+type Tuner struct {
+	cfg   Config
+	ws    *mg.Workspace // measurement workspace (fresh direct factors)
+	probs map[int][]*problem.Problem
+	front map[int]*ParetoFront // per-level candidate fronts (diagnostics)
+}
+
+// New returns a tuner for the given configuration (defaults applied).
+func New(cfg Config) (*Tuner, error) {
+	cfg = cfg.Defaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	ws := mg.NewWorkspace(cfg.Pool)
+	ws.Smoother = cfg.Smoother
+	return &Tuner{
+		cfg:   cfg,
+		ws:    ws,
+		probs: make(map[int][]*problem.Problem),
+		front: make(map[int]*ParetoFront),
+	}, nil
+}
+
+// Front returns the Pareto front of all candidates measured at a level
+// (the full-DP view of §2.2), or nil if the level was not tuned.
+func (t *Tuner) Front(level int) *ParetoFront { return t.front[level] }
+
+func (t *Tuner) logf(format string, args ...any) {
+	if t.cfg.Logf != nil {
+		t.cfg.Logf(format, args...)
+	}
+}
+
+// training returns (generating on first use) the training problems for a
+// level, with reference solutions attached.
+func (t *Tuner) training(level int) []*problem.Problem {
+	if ps, ok := t.probs[level]; ok {
+		return ps
+	}
+	n := grid.SizeOfLevel(level)
+	ps := make([]*problem.Problem, t.cfg.TrainingInstances)
+	for i := range ps {
+		rng := rand.New(rand.NewSource(t.cfg.Seed + int64(level)*1009 + int64(i)))
+		ps[i] = problem.Random(n, t.cfg.Distribution, rng)
+		refsol.Attach(ps[i], t.cfg.Pool)
+	}
+	t.probs[level] = ps
+	return ps
+}
+
+// traceBased reports whether the Coster ignores wall time, letting the
+// tuner skip high-precision timing loops.
+func (t *Tuner) traceBased() bool {
+	_, ok := t.cfg.Coster.(interface{ TraceBased() })
+	return ok
+}
+
+// measured is one priced candidate for a level: either a direct solve
+// (iters nil) or an iterative choice with per-accuracy iteration counts.
+type measured struct {
+	plan       mg.Plan
+	iters      []int // per accuracy index; 0 = infeasible (nil for direct)
+	costPerAcc []float64
+}
+
+// stepFunc advances one iteration of a candidate on (x, b).
+type stepFunc func(x, b *grid.Grid, rec mg.Recorder)
+
+// countIters runs step repeatedly on each training instance and returns,
+// per accuracy target, the maximum number of iterations any instance needed
+// (0 if some instance missed the target within cap).
+func (t *Tuner) countIters(probs []*problem.Problem, step stepFunc, cap int) []int {
+	m := len(t.cfg.Accuracies)
+	need := make([]int, m)
+	bad := make([]bool, m)
+	for _, p := range probs {
+		x := p.NewState()
+		met := 0
+		for it := 1; it <= cap && met < m; it++ {
+			step(x, p.B, nil)
+			acc := p.AccuracyOf(x)
+			for met < m && acc >= t.cfg.Accuracies[met] {
+				if it > need[met] {
+					need[met] = it
+				}
+				met++
+			}
+		}
+		for i := met; i < m; i++ {
+			bad[i] = true // this instance missed the target within cap
+		}
+	}
+	for i := range need {
+		if bad[i] {
+			need[i] = 0 // infeasible marker
+		}
+	}
+	return need
+}
+
+// timeOneIter measures the trace and wall time of a single iteration of
+// step on the first training instance. For wall-clock costers the step is
+// repeated adaptively until the sample is long enough to trust.
+func (t *Tuner) timeOneIter(probs []*problem.Problem, step stepFunc) (*mg.OpTrace, time.Duration) {
+	p := probs[0]
+	var tr mg.OpTrace
+	x := p.NewState()
+	start := time.Now()
+	step(x, p.B, &tr)
+	elapsed := time.Since(start)
+	if t.traceBased() {
+		return &tr, elapsed
+	}
+	// Re-sample short steps in growing batches until one batch is long
+	// enough to trust, then keep the minimum (least-noise) of three such
+	// batches: candidate ranking is only as good as these samples.
+	const minSample = 200 * time.Microsecond
+	batch := elapsed
+	reps := 1
+	for ; batch < minSample && reps <= 4096; reps *= 2 {
+		x = p.NewState()
+		start = time.Now()
+		for r := 0; r < reps; r++ {
+			step(x, p.B, nil)
+		}
+		batch = time.Since(start)
+		elapsed = batch / time.Duration(reps)
+	}
+	for sample := 0; sample < 2; sample++ {
+		x = p.NewState()
+		start = time.Now()
+		for r := 0; r < reps; r++ {
+			step(x, p.B, nil)
+		}
+		if d := time.Since(start) / time.Duration(reps); d < elapsed {
+			elapsed = d
+		}
+	}
+	return &tr, elapsed
+}
+
+// priceIterative converts iteration counts into per-accuracy costs.
+func (t *Tuner) priceIterative(iters []int, tr1 *mg.OpTrace, d1 time.Duration) []float64 {
+	costs := make([]float64, len(iters))
+	for i, n := range iters {
+		if n <= 0 {
+			costs[i] = math.Inf(1)
+			continue
+		}
+		costs[i] = t.cfg.Coster.Cost(tr1.Scaled(n), time.Duration(n)*d1)
+	}
+	return costs
+}
+
+// measureDirect prices the direct choice at a level (identical for every
+// accuracy target: the solve is exact).
+func (t *Tuner) measureDirect(level int, probs []*problem.Problem) measured {
+	step := func(x, b *grid.Grid, rec mg.Recorder) { t.ws.SolveDirect(x, b, rec) }
+	tr, d := t.timeOneIter(probs, step)
+	cost := t.cfg.Coster.Cost(tr, d)
+	costs := make([]float64, len(t.cfg.Accuracies))
+	for i := range costs {
+		costs[i] = cost
+	}
+	return measured{plan: mg.Plan{Choice: mg.ChoiceDirect}, costPerAcc: costs}
+}
+
+// measureSOR prices the iterated-SOR choice at a level.
+func (t *Tuner) measureSOR(level int, probs []*problem.Problem) measured {
+	n := grid.SizeOfLevel(level)
+	omega := stencil.OmegaOpt(n)
+	step := func(x, b *grid.Grid, rec mg.Recorder) { t.ws.SOR(x, b, omega, 1, rec) }
+	iters := t.countIters(probs, step, t.cfg.MaxSORIters)
+	tr1, d1 := t.timeOneIter(probs, step)
+	m := measured{
+		plan:       mg.Plan{Choice: mg.ChoiceSOR},
+		iters:      iters,
+		costPerAcc: t.priceIterative(iters, tr1, d1),
+	}
+	return m
+}
+
+// measureVChain prices the standard-V-cycle seed algorithm at a level — the
+// single-algorithm implementation the PetaBricks population always keeps
+// (§3.2.2), which guards the dynamic program against pathological greedy
+// choices at coarser levels.
+func (t *Tuner) measureVChain(level int, probs []*problem.Problem) measured {
+	step := func(x, b *grid.Grid, rec mg.Recorder) {
+		t.ws.RefVCycle(x, b, rec)
+	}
+	iters := t.countIters(probs, step, t.cfg.MaxRecurseIters)
+	tr1, d1 := t.timeOneIter(probs, step)
+	return measured{
+		plan:       mg.Plan{Choice: mg.ChoiceVCycle},
+		iters:      iters,
+		costPerAcc: t.priceIterative(iters, tr1, d1),
+	}
+}
+
+// measureRecurse prices the RECURSE_j choice at a level, using the tuned
+// sub-table rows already built for coarser levels.
+func (t *Tuner) measureRecurse(vt *mg.VTable, level, j int, probs []*problem.Problem) measured {
+	ex := &mg.Executor{WS: t.ws, V: vt}
+	step := func(x, b *grid.Grid, rec mg.Recorder) {
+		ex.Rec = rec
+		ex.Recurse(x, b, j)
+	}
+	iters := t.countIters(probs, step, t.cfg.MaxRecurseIters)
+	tr1, d1 := t.timeOneIter(probs, step)
+	return measured{
+		plan:       mg.Plan{Choice: mg.ChoiceRecurse, Sub: j},
+		iters:      iters,
+		costPerAcc: t.priceIterative(iters, tr1, d1),
+	}
+}
+
+// TuneV runs the dynamic program for the MULTIGRID-V family and returns the
+// tuned table.
+func (t *Tuner) TuneV() (*mg.VTable, error) {
+	vt := &mg.VTable{Acc: append([]float64(nil), t.cfg.Accuracies...)}
+	for level := 2; level <= t.cfg.MaxLevel; level++ {
+		row := t.tuneVLevel(vt, level)
+		vt.Plans = append(vt.Plans, row)
+		t.logf("level %d (N=%d): %s", level, grid.SizeOfLevel(level), describeRow(row))
+	}
+	if err := vt.Validate(); err != nil {
+		return nil, fmt.Errorf("core: tuned V table invalid: %w", err)
+	}
+	return vt, nil
+}
+
+// tuneVLevel measures every candidate at one level and picks, per accuracy
+// target, the cheapest feasible plan.
+func (t *Tuner) tuneVLevel(vt *mg.VTable, level int) []mg.Plan {
+	probs := t.training(level)
+	m := len(t.cfg.Accuracies)
+	var cands []measured
+	if level <= t.cfg.DirectMaxLevel {
+		cands = append(cands, t.measureDirect(level, probs))
+	}
+	cands = append(cands, t.measureSOR(level, probs))
+	cands = append(cands, t.measureVChain(level, probs))
+	for j := 0; j < m; j++ {
+		cands = append(cands, t.measureRecurse(vt, level, j, probs))
+	}
+
+	front := t.front[level]
+	if front == nil {
+		front = &ParetoFront{}
+		t.front[level] = front
+	}
+	row := make([]mg.Plan, m)
+	for i := 0; i < m; i++ {
+		best := -1
+		bestCost := math.Inf(1)
+		for c, cand := range cands {
+			cost := cand.costPerAcc[i]
+			if cost < bestCost {
+				best, bestCost = c, cost
+			}
+			if !math.IsInf(cost, 1) {
+				front.Add(ParetoPoint{Accuracy: t.cfg.Accuracies[i], Cost: cost, Plan: withIters(cand, i)})
+			}
+		}
+		if best < 0 {
+			// Every iterative choice missed the target and direct was not
+			// explored; fall back to direct, which is always exact.
+			t.logf("level %d acc %g: no feasible candidate, falling back to direct", level, t.cfg.Accuracies[i])
+			row[i] = mg.Plan{Choice: mg.ChoiceDirect}
+			continue
+		}
+		row[i] = withIters(cands[best], i)
+	}
+	return row
+}
+
+// withIters materializes a candidate's plan for accuracy index i.
+func withIters(c measured, i int) mg.Plan {
+	p := c.plan
+	if p.Choice != mg.ChoiceDirect {
+		p.Iters = c.iters[i]
+	}
+	return p
+}
+
+func describeRow(row []mg.Plan) string {
+	s := ""
+	for i, p := range row {
+		if i > 0 {
+			s += ", "
+		}
+		switch p.Choice {
+		case mg.ChoiceDirect:
+			s += "direct"
+		case mg.ChoiceSOR:
+			s += fmt.Sprintf("sor×%d", p.Iters)
+		case mg.ChoiceRecurse:
+			s += fmt.Sprintf("rec%d×%d", p.Sub+1, p.Iters)
+		case mg.ChoiceVCycle:
+			s += fmt.Sprintf("vchain×%d", p.Iters)
+		}
+	}
+	return s
+}

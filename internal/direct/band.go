@@ -1,0 +1,167 @@
+// Package direct implements a banded Cholesky direct solver for the 2D
+// Poisson operator — the stand-in for LAPACK's DPBSV routine that the paper
+// uses as its direct algorithmic choice. With interior side m = N−2 the
+// system has n = m² unknowns and half-bandwidth m, so factorization costs
+// O(n·m²) = O(N⁴) and each solve costs O(n·m) = O(N³), matching the
+// complexity table in §2 of the paper.
+package direct
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNotPositiveDefinite is returned by Factor when the matrix is not
+// symmetric positive definite.
+var ErrNotPositiveDefinite = errors.New("direct: matrix is not positive definite")
+
+// BandMatrix is a symmetric matrix stored in lower-band form: entry (i, j)
+// with 0 ≤ i−j ≤ bandwidth is kept at row i, distance i−j. After a
+// successful Factor the storage holds the Cholesky factor L in place.
+type BandMatrix struct {
+	n         int
+	bandwidth int
+	w         int // entries per row = bandwidth + 1
+	data      []float64
+	factored  bool
+}
+
+// NewBandMatrix returns a zero n×n symmetric band matrix with the given
+// half-bandwidth (number of sub-diagonals kept).
+func NewBandMatrix(n, bandwidth int) *BandMatrix {
+	if n < 1 || bandwidth < 0 {
+		panic(fmt.Sprintf("direct: invalid band matrix n=%d bw=%d", n, bandwidth))
+	}
+	if bandwidth > n-1 {
+		bandwidth = n - 1
+	}
+	w := bandwidth + 1
+	return &BandMatrix{n: n, bandwidth: bandwidth, w: w, data: make([]float64, n*w)}
+}
+
+// N returns the matrix dimension.
+func (m *BandMatrix) N() int { return m.n }
+
+// Bandwidth returns the half-bandwidth.
+func (m *BandMatrix) Bandwidth() int { return m.bandwidth }
+
+// Factored reports whether Factor has completed successfully.
+func (m *BandMatrix) Factored() bool { return m.factored }
+
+// at returns the stored value for (row, row−dist).
+func (m *BandMatrix) at(row, dist int) float64 { return m.data[row*m.w+dist] }
+
+// set stores v at (row, row−dist).
+func (m *BandMatrix) set(row, dist int, v float64) { m.data[row*m.w+dist] = v }
+
+// At returns A(i, j), exploiting symmetry; entries outside the band are 0.
+func (m *BandMatrix) At(i, j int) float64 {
+	if j > i {
+		i, j = j, i
+	}
+	if i-j > m.bandwidth {
+		return 0
+	}
+	return m.at(i, i-j)
+}
+
+// Set stores A(i, j) (and by symmetry A(j, i)). It panics if (i, j) lies
+// outside the band or the matrix is already factored.
+func (m *BandMatrix) Set(i, j int, v float64) {
+	if m.factored {
+		panic("direct: Set on factored matrix")
+	}
+	if j > i {
+		i, j = j, i
+	}
+	if i-j > m.bandwidth {
+		panic(fmt.Sprintf("direct: Set(%d,%d) outside bandwidth %d", i, j, m.bandwidth))
+	}
+	m.set(i, i-j, v)
+}
+
+// Factor computes the Cholesky factorization A = L·Lᵀ in place. It returns
+// ErrNotPositiveDefinite if a non-positive pivot is encountered.
+func (m *BandMatrix) Factor() error {
+	n, bw := m.n, m.bandwidth
+	for j := 0; j < n; j++ {
+		lo := j - bw
+		if lo < 0 {
+			lo = 0
+		}
+		s := m.at(j, 0)
+		for k := lo; k < j; k++ {
+			l := m.at(j, j-k)
+			s -= l * l
+		}
+		if s <= 0 || math.IsNaN(s) {
+			return ErrNotPositiveDefinite
+		}
+		ljj := math.Sqrt(s)
+		m.set(j, 0, ljj)
+		hi := j + bw
+		if hi > n-1 {
+			hi = n - 1
+		}
+		for i := j + 1; i <= hi; i++ {
+			s := m.at(i, i-j)
+			ilo := i - bw
+			if ilo < 0 {
+				ilo = 0
+			}
+			for k := ilo; k < j; k++ {
+				s -= m.at(i, i-k) * m.at(j, j-k)
+			}
+			m.set(i, i-j, s/ljj)
+		}
+	}
+	m.factored = true
+	return nil
+}
+
+// Solve solves A·x = rhs using the computed factorization, overwriting rhs
+// with the solution. Factor must have succeeded first.
+func (m *BandMatrix) Solve(rhs []float64) {
+	if !m.factored {
+		panic("direct: Solve before Factor")
+	}
+	if len(rhs) != m.n {
+		panic(fmt.Sprintf("direct: Solve rhs length %d != %d", len(rhs), m.n))
+	}
+	n, bw := m.n, m.bandwidth
+	// Forward substitution L·y = rhs.
+	for i := 0; i < n; i++ {
+		lo := i - bw
+		if lo < 0 {
+			lo = 0
+		}
+		s := rhs[i]
+		for k := lo; k < i; k++ {
+			s -= m.at(i, i-k) * rhs[k]
+		}
+		rhs[i] = s / m.at(i, 0)
+	}
+	// Back substitution Lᵀ·x = y.
+	for i := n - 1; i >= 0; i-- {
+		hi := i + bw
+		if hi > n-1 {
+			hi = n - 1
+		}
+		s := rhs[i]
+		for k := i + 1; k <= hi; k++ {
+			s -= m.at(k, k-i) * rhs[k]
+		}
+		rhs[i] = s / m.at(i, 0)
+	}
+}
+
+// FactorFlops estimates the floating-point operations of Factor, ≈ n·bw².
+func (m *BandMatrix) FactorFlops() float64 {
+	return float64(m.n) * float64(m.bandwidth) * float64(m.bandwidth)
+}
+
+// SolveFlops estimates the floating-point operations of one Solve, ≈ 4·n·bw.
+func (m *BandMatrix) SolveFlops() float64 {
+	return 4 * float64(m.n) * float64(m.bandwidth)
+}

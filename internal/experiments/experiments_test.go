@@ -1,0 +1,251 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"pbmg/internal/grid"
+)
+
+// smallRunner keeps experiment tests fast: level 5 (N=33), serial.
+func smallRunner(t *testing.T) *Runner {
+	t.Helper()
+	r := NewRunner(Opts{MaxLevel: 5, Seed: 11})
+	t.Cleanup(r.Close)
+	return r
+}
+
+func TestTableString(t *testing.T) {
+	tb := &Table{
+		Title:   "demo",
+		Columns: []string{"a", "long-column"},
+		Rows:    [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:   "hello",
+	}
+	out := tb.String()
+	for _, want := range []string{"## demo", "long-column", "333", "note: hello", "---"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRelativePerformanceTables(t *testing.T) {
+	r := smallRunner(t)
+	tables, err := r.RelativePerformance(1e5, grid.Unbiased)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 3 {
+		t.Fatalf("got %d tables, want 3 (one per machine)", len(tables))
+	}
+	for _, tb := range tables {
+		if len(tb.Rows) != 2 { // levels 4 and 5
+			t.Fatalf("table %q has %d rows, want 2", tb.Title, len(tb.Rows))
+		}
+		for _, row := range tb.Rows {
+			if row[1] != "1.000" {
+				t.Fatalf("refV column should be 1.000, got %q", row[1])
+			}
+			// The tuned algorithms must not be dramatically worse than the
+			// reference V cycle — this is the headline claim of Figures
+			// 10–13.
+			for _, col := range []int{3, 4} {
+				v, err := strconv.ParseFloat(row[col], 64)
+				if err != nil {
+					t.Fatalf("unparseable ratio %q", row[col])
+				}
+				if v > 1.3 {
+					t.Errorf("%s: tuned ratio %v > 1.3 at N=%s (col %d)", tb.Title, v, row[0], col)
+				}
+			}
+		}
+	}
+}
+
+func TestFig14ShapesDifferAcrossMachines(t *testing.T) {
+	r := smallRunner(t)
+	out, err := r.Fig14()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "intel-harpertown") || !strings.Contains(out, "sun-niagara") {
+		t.Fatalf("Fig14 output incomplete:\n%s", out)
+	}
+	// Each machine section must contain a rendered cycle (level labels).
+	if strings.Count(out, " 5 |") < 3 {
+		t.Fatalf("expected three rendered cycles at level 5:\n%s", out)
+	}
+}
+
+func TestFig4CallStacks(t *testing.T) {
+	r := smallRunner(t)
+	out, err := r.Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(out, "MULTIGRID-V4 @ level 5") != 2 {
+		t.Fatalf("Fig4 should show the V4 stack for both distributions:\n%s", out)
+	}
+}
+
+func TestFig5Shapes(t *testing.T) {
+	r := smallRunner(t)
+	out, err := r.Fig5(grid.Biased)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"MULTIGRID-V cycles", "FULL-MULTIGRID cycles", "i) accuracy 1e+01", "iv) accuracy 1e+07"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Fig5 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCrossTrainMatrix(t *testing.T) {
+	r := smallRunner(t)
+	tb, err := r.CrossTrain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 3 || len(tb.Rows[0]) != 4 {
+		t.Fatalf("matrix shape wrong: %v", tb.Rows)
+	}
+	for i, row := range tb.Rows {
+		diag, err := strconv.ParseFloat(row[i+1], 64)
+		if err != nil || diag != 1.0 {
+			t.Fatalf("diagonal entry %q should be exactly 1.000", row[i+1])
+		}
+		for j := 1; j < len(row); j++ {
+			v, err := strconv.ParseFloat(row[j], 64)
+			if err != nil {
+				t.Fatalf("unparseable entry %q", row[j])
+			}
+			// Cross-trained configurations cannot beat natively tuned ones
+			// by construction of the DP (up to tie).
+			if v < 0.999 {
+				t.Errorf("cross-trained beat native: row %d col %d = %v", i, j, v)
+			}
+		}
+	}
+}
+
+func TestBundleCaching(t *testing.T) {
+	r := smallRunner(t)
+	b1, err := r.tuned("intel-harpertown", grid.Unbiased)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := r.tuned("intel-harpertown", grid.Unbiased)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b1 != b2 {
+		t.Fatal("runner re-tuned an already-tuned bundle")
+	}
+	if _, err := r.tuned("vax-780", grid.Unbiased); err == nil {
+		t.Fatal("unknown machine accepted")
+	}
+}
+
+func TestTestProblemCaching(t *testing.T) {
+	r := smallRunner(t)
+	p1 := r.test(4, grid.Biased)
+	p2 := r.test(4, grid.Biased)
+	if p1 != p2 {
+		t.Fatal("runner regenerated a cached test problem")
+	}
+	if p1.Optimal() == nil {
+		t.Fatal("test problem lacks a reference solution")
+	}
+}
+
+func TestComplexityWallSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock experiment")
+	}
+	r := NewRunner(Opts{MaxLevel: 5, Seed: 3})
+	defer r.Close()
+	tb, err := r.Complexity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 3 {
+		t.Fatalf("complexity rows = %d, want 3", len(tb.Rows))
+	}
+	// Direct must scale with a clearly larger exponent than multigrid.
+	parse := func(s string) float64 {
+		v, err := strconv.ParseFloat(strings.TrimPrefix(s, "N^"), 64)
+		if err != nil {
+			t.Fatalf("bad exponent %q", s)
+		}
+		return v
+	}
+	direct := parse(tb.Rows[0][2])
+	mgExp := parse(tb.Rows[2][2])
+	if direct <= mgExp {
+		t.Errorf("direct exponent %v should exceed multigrid's %v", direct, mgExp)
+	}
+}
+
+func TestFig6WallSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock experiment")
+	}
+	r := NewRunner(Opts{MaxLevel: 5, Seed: 3})
+	defer r.Close()
+	tb, err := r.Fig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 { // levels 2..5
+		t.Fatalf("fig6 rows = %d, want 4", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		if row[4] == "-" {
+			t.Fatalf("autotuned column empty for N=%s", row[0])
+		}
+	}
+}
+
+func TestFig9WallSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock experiment")
+	}
+	r := NewRunner(Opts{MaxLevel: 5, Seed: 3})
+	defer r.Close()
+	tb, err := r.Fig9(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("fig9 rows = %d, want 2", len(tb.Rows))
+	}
+	if !strings.HasSuffix(tb.Rows[0][2], "x") {
+		t.Fatalf("speedup column malformed: %q", tb.Rows[0][2])
+	}
+}
+
+func TestFig7and8WallSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock experiment")
+	}
+	r := NewRunner(Opts{MaxLevel: 6, Seed: 3})
+	defer r.Close()
+	abs, rel, err := r.Fig7and8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(abs.Rows) != 1 || len(rel.Rows) != 1 { // only N=65 at level 6
+		t.Fatalf("rows = %d/%d, want 1/1", len(abs.Rows), len(rel.Rows))
+	}
+	// Figure 7 has five strategies plus the autotuned column plus N.
+	if len(abs.Columns) != 7 {
+		t.Fatalf("columns = %d, want 7 (%v)", len(abs.Columns), abs.Columns)
+	}
+	// The relative table's autotuned column is 1 by construction.
+	if rel.Rows[0][6] != "1.000" {
+		t.Fatalf("autotuned ratio = %q, want 1.000", rel.Rows[0][6])
+	}
+}

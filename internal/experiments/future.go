@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pbmg/internal/cluster"
+)
+
+// ClusterLayout demonstrates the paper's §6 future-work direction: a
+// dynamic program that decides, per multigrid level, how many cluster nodes
+// to keep and when to migrate the shrinking working set to fewer machines.
+// Rows sweep the halo message latency; as communication gets more
+// expensive, the tuned layout sheds nodes at finer levels, exactly the
+// behaviour the paper anticipates.
+func (r *Runner) ClusterLayout() (*Table, error) {
+	base := cluster.Machine{
+		Nodes:           16,
+		ComputePerPoint: 1,
+		HaloByteTime:    2,
+		MigrateByteTime: 1,
+	}
+	maxLevel := r.O.MaxLevel
+	t := &Table{
+		Title:   fmt.Sprintf("Future work (§6): tuned distributed layouts, 16 nodes, finest level %d", maxLevel),
+		Columns: []string{"halo latency", "collapse-to-1-node level", "tuned layout (finest→coarsest)", "vs static all-nodes"},
+		Notes:   "the DP decides per level how many nodes to keep; higher latency sheds nodes at finer grids",
+	}
+	for _, lat := range []float64{1e2, 1e3, 1e4, 1e5, 1e6} {
+		m := base
+		m.HaloLatency = lat
+		layout := cluster.OptimalLayout(m, maxLevel)
+		tuned := cluster.CycleCost(m, layout, maxLevel)
+		static := &cluster.Layout{Nodes: make([]int, maxLevel+1)}
+		for level := 1; level <= maxLevel; level++ {
+			static.Nodes[level] = m.Nodes
+		}
+		all := cluster.CycleCost(m, static, maxLevel)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.0e", lat),
+			fmt.Sprintf("%d", cluster.MigrationLevel(layout)),
+			layout.String(),
+			fmtRatio(tuned / all),
+		})
+	}
+	return t, nil
+}

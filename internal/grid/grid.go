@@ -1,0 +1,165 @@
+// Package grid provides the square 2D grid container used throughout the
+// multigrid solver, together with norms and the random training-data
+// distributions from the paper's evaluation (§4).
+//
+// Grids are stored row-major in a single flat slice so that relaxation and
+// transfer kernels stream through memory. Multigrid levels use sizes
+// N = 2^k + 1; Level/SizeOfLevel convert between the two conventions.
+package grid
+
+import "fmt"
+
+// Grid is a square N×N grid of float64 values stored row-major.
+// The zero value is not usable; construct grids with New.
+type Grid struct {
+	n    int
+	data []float64
+}
+
+// New returns a zero-filled n×n grid. It panics if n < 1.
+func New(n int) *Grid {
+	if n < 1 {
+		panic(fmt.Sprintf("grid: invalid size %d", n))
+	}
+	return &Grid{n: n, data: make([]float64, n*n)}
+}
+
+// FromSlice wraps an existing row-major slice of length n*n as a Grid.
+// The grid aliases data; mutations are visible both ways.
+func FromSlice(n int, data []float64) *Grid {
+	if len(data) != n*n {
+		panic(fmt.Sprintf("grid: FromSlice length %d != %d*%d", len(data), n, n))
+	}
+	return &Grid{n: n, data: data}
+}
+
+// N returns the number of points per side.
+func (g *Grid) N() int { return g.n }
+
+// Data returns the backing row-major slice. The slice aliases the grid.
+func (g *Grid) Data() []float64 { return g.data }
+
+// At returns the value at row i, column j.
+func (g *Grid) At(i, j int) float64 { return g.data[i*g.n+j] }
+
+// Set stores v at row i, column j.
+func (g *Grid) Set(i, j int, v float64) { g.data[i*g.n+j] = v }
+
+// Row returns the i-th row as a sub-slice aliasing the grid.
+func (g *Grid) Row(i int) []float64 { return g.data[i*g.n : (i+1)*g.n] }
+
+// Clone returns a deep copy of g.
+func (g *Grid) Clone() *Grid {
+	c := New(g.n)
+	copy(c.data, g.data)
+	return c
+}
+
+// CopyFrom overwrites g with the contents of src. Sizes must match.
+func (g *Grid) CopyFrom(src *Grid) {
+	if g.n != src.n {
+		panic(fmt.Sprintf("grid: CopyFrom size mismatch %d != %d", g.n, src.n))
+	}
+	copy(g.data, src.data)
+}
+
+// Fill sets every entry of g to v.
+func (g *Grid) Fill(v float64) {
+	for i := range g.data {
+		g.data[i] = v
+	}
+}
+
+// Zero sets every entry of g to zero.
+func (g *Grid) Zero() { g.Fill(0) }
+
+// ZeroInterior zeroes all non-boundary entries, leaving the border intact.
+func (g *Grid) ZeroInterior() {
+	n := g.n
+	for i := 1; i < n-1; i++ {
+		row := g.Row(i)
+		for j := 1; j < n-1; j++ {
+			row[j] = 0
+		}
+	}
+}
+
+// ZeroBoundary zeroes the border entries, leaving the interior intact.
+func (g *Grid) ZeroBoundary() {
+	n := g.n
+	top, bot := g.Row(0), g.Row(n-1)
+	for j := 0; j < n; j++ {
+		top[j], bot[j] = 0, 0
+	}
+	for i := 1; i < n-1; i++ {
+		g.data[i*n] = 0
+		g.data[i*n+n-1] = 0
+	}
+}
+
+// CopyBoundaryFrom copies only the border entries of src into g.
+func (g *Grid) CopyBoundaryFrom(src *Grid) {
+	if g.n != src.n {
+		panic("grid: CopyBoundaryFrom size mismatch")
+	}
+	n := g.n
+	copy(g.Row(0), src.Row(0))
+	copy(g.Row(n-1), src.Row(n-1))
+	for i := 1; i < n-1; i++ {
+		g.data[i*n] = src.data[i*n]
+		g.data[i*n+n-1] = src.data[i*n+n-1]
+	}
+}
+
+// AddInterior adds src's interior entries into g's interior, leaving
+// boundaries untouched. Used for coarse-grid correction.
+func (g *Grid) AddInterior(src *Grid) {
+	if g.n != src.n {
+		panic("grid: AddInterior size mismatch")
+	}
+	n := g.n
+	for i := 1; i < n-1; i++ {
+		gr, sr := g.Row(i), src.Row(i)
+		for j := 1; j < n-1; j++ {
+			gr[j] += sr[j]
+		}
+	}
+}
+
+// Scale multiplies every entry by s.
+func (g *Grid) Scale(s float64) {
+	for i := range g.data {
+		g.data[i] *= s
+	}
+}
+
+// Level returns k such that n = 2^k + 1, or -1 if n is not of that form.
+func Level(n int) int {
+	m := n - 1
+	if m < 2 || m&(m-1) != 0 {
+		return -1
+	}
+	k := 0
+	for m > 1 {
+		m >>= 1
+		k++
+	}
+	return k
+}
+
+// SizeOfLevel returns the grid side length N = 2^k + 1 for level k ≥ 1.
+func SizeOfLevel(k int) int {
+	if k < 1 || k > 30 {
+		panic(fmt.Sprintf("grid: invalid level %d", k))
+	}
+	return (1 << uint(k)) + 1
+}
+
+// Coarsen returns the side length of the next-coarser multigrid level,
+// (n+1)/2, panicking unless n = 2^k + 1 with k ≥ 2.
+func Coarsen(n int) int {
+	if Level(n) < 2 {
+		panic(fmt.Sprintf("grid: cannot coarsen size %d", n))
+	}
+	return (n + 1) / 2
+}

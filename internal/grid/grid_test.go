@@ -1,0 +1,351 @@
+package grid
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewZeroFilled(t *testing.T) {
+	g := New(5)
+	if g.N() != 5 {
+		t.Fatalf("N() = %d, want 5", g.N())
+	}
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			if g.At(i, j) != 0 {
+				t.Fatalf("At(%d,%d) = %v, want 0", i, j, g.At(i, j))
+			}
+		}
+	}
+}
+
+func TestNewPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New(0)
+}
+
+func TestSetAtRoundTrip(t *testing.T) {
+	g := New(4)
+	g.Set(2, 3, 7.5)
+	if got := g.At(2, 3); got != 7.5 {
+		t.Fatalf("At(2,3) = %v, want 7.5", got)
+	}
+	if got := g.Data()[2*4+3]; got != 7.5 {
+		t.Fatalf("flat index = %v, want 7.5", got)
+	}
+}
+
+func TestFromSliceAliases(t *testing.T) {
+	data := make([]float64, 9)
+	g := FromSlice(3, data)
+	g.Set(1, 1, 2)
+	if data[4] != 2 {
+		t.Fatal("FromSlice does not alias the given slice")
+	}
+}
+
+func TestFromSlicePanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FromSlice with wrong length did not panic")
+		}
+	}()
+	FromSlice(3, make([]float64, 8))
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := New(3)
+	g.Set(1, 1, 1)
+	c := g.Clone()
+	c.Set(1, 1, 9)
+	if g.At(1, 1) != 1 {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestCopyFromAndFill(t *testing.T) {
+	a, b := New(3), New(3)
+	a.Fill(4)
+	b.CopyFrom(a)
+	if b.At(2, 2) != 4 {
+		t.Fatalf("CopyFrom: got %v, want 4", b.At(2, 2))
+	}
+}
+
+func TestZeroInteriorKeepsBoundary(t *testing.T) {
+	g := New(4)
+	g.Fill(3)
+	g.ZeroInterior()
+	if g.At(0, 2) != 3 || g.At(3, 1) != 3 || g.At(1, 0) != 3 || g.At(2, 3) != 3 {
+		t.Fatal("ZeroInterior changed boundary")
+	}
+	if g.At(1, 1) != 0 || g.At(2, 2) != 0 {
+		t.Fatal("ZeroInterior left interior nonzero")
+	}
+}
+
+func TestZeroBoundaryKeepsInterior(t *testing.T) {
+	g := New(4)
+	g.Fill(3)
+	g.ZeroBoundary()
+	if g.At(1, 1) != 3 || g.At(2, 2) != 3 {
+		t.Fatal("ZeroBoundary changed interior")
+	}
+	for j := 0; j < 4; j++ {
+		if g.At(0, j) != 0 || g.At(3, j) != 0 || g.At(j, 0) != 0 || g.At(j, 3) != 0 {
+			t.Fatal("ZeroBoundary left boundary nonzero")
+		}
+	}
+}
+
+func TestCopyBoundaryFrom(t *testing.T) {
+	src, dst := New(4), New(4)
+	src.Fill(7)
+	dst.Fill(1)
+	dst.CopyBoundaryFrom(src)
+	if dst.At(0, 0) != 7 || dst.At(3, 3) != 7 || dst.At(2, 0) != 7 || dst.At(1, 3) != 7 {
+		t.Fatal("boundary not copied")
+	}
+	if dst.At(1, 1) != 1 {
+		t.Fatal("interior was overwritten")
+	}
+}
+
+func TestAddInterior(t *testing.T) {
+	a, b := New(4), New(4)
+	a.Fill(1)
+	b.Fill(2)
+	a.AddInterior(b)
+	if a.At(1, 2) != 3 {
+		t.Fatalf("interior sum = %v, want 3", a.At(1, 2))
+	}
+	if a.At(0, 0) != 1 {
+		t.Fatal("AddInterior touched the boundary")
+	}
+}
+
+func TestScale(t *testing.T) {
+	g := New(3)
+	g.Fill(2)
+	g.Scale(-0.5)
+	if g.At(1, 1) != -1 {
+		t.Fatalf("Scale: got %v, want -1", g.At(1, 1))
+	}
+}
+
+func TestLevelAndSizeOfLevel(t *testing.T) {
+	cases := []struct{ n, k int }{
+		{3, 1}, {5, 2}, {9, 3}, {17, 4}, {33, 5}, {65, 6}, {129, 7},
+		{257, 8}, {513, 9}, {1025, 10}, {2049, 11}, {4097, 12},
+	}
+	for _, c := range cases {
+		if got := Level(c.n); got != c.k {
+			t.Errorf("Level(%d) = %d, want %d", c.n, got, c.k)
+		}
+		if got := SizeOfLevel(c.k); got != c.n {
+			t.Errorf("SizeOfLevel(%d) = %d, want %d", c.k, got, c.n)
+		}
+	}
+	for _, bad := range []int{0, 1, 2, 4, 6, 8, 10, 100} {
+		if Level(bad) != -1 {
+			t.Errorf("Level(%d) = %d, want -1", bad, Level(bad))
+		}
+	}
+}
+
+func TestCoarsen(t *testing.T) {
+	if got := Coarsen(9); got != 5 {
+		t.Fatalf("Coarsen(9) = %d, want 5", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Coarsen(3) did not panic")
+		}
+	}()
+	Coarsen(3)
+}
+
+func TestL2InteriorExcludesBoundary(t *testing.T) {
+	g := New(3) // single interior point
+	g.Fill(5)
+	if got := L2Interior(g); got != 5 {
+		t.Fatalf("L2Interior = %v, want 5", got)
+	}
+}
+
+func TestL2DiffInterior(t *testing.T) {
+	a, b := New(4), New(4)
+	a.Set(1, 1, 3)
+	b.Set(1, 1, 0)
+	a.Set(2, 2, 0)
+	b.Set(2, 2, 4)
+	if got := L2DiffInterior(a, b); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("L2DiffInterior = %v, want 5", got)
+	}
+}
+
+func TestMaxAbsInterior(t *testing.T) {
+	g := New(4)
+	g.Set(1, 2, -9)
+	g.Set(0, 0, 100) // boundary, must be ignored
+	if got := MaxAbsInterior(g); got != 9 {
+		t.Fatalf("MaxAbsInterior = %v, want 9", got)
+	}
+}
+
+func TestAccuracyLevel(t *testing.T) {
+	xopt := New(3)
+	xin := New(3)
+	xin.Set(1, 1, 8)
+	xout := New(3)
+	xout.Set(1, 1, 2)
+	if got := AccuracyLevel(xin, xout, xopt); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("AccuracyLevel = %v, want 4", got)
+	}
+	if got := AccuracyLevel(xin, xopt, xopt); !math.IsInf(got, 1) {
+		t.Fatalf("exact output should yield +Inf, got %v", got)
+	}
+	if got := AccuracyLevel(xopt, xopt, xopt); got != 1 {
+		t.Fatalf("degenerate case should yield 1, got %v", got)
+	}
+}
+
+func TestDistributionString(t *testing.T) {
+	if Unbiased.String() != "unbiased" || Biased.String() != "biased" ||
+		PointSources.String() != "point-sources" || Distribution(99).String() != "unknown" {
+		t.Fatal("Distribution.String mismatch")
+	}
+}
+
+func TestDistributionRanges(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		u := Unbiased.Sample(rng)
+		if u < -UniformScale || u > UniformScale {
+			t.Fatalf("unbiased sample %v out of range", u)
+		}
+		b := Biased.Sample(rng)
+		if b < -UniformScale+BiasShift || b > UniformScale+BiasShift {
+			t.Fatalf("biased sample %v out of range", b)
+		}
+	}
+}
+
+func TestBiasedMeanIsShifted(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var sum float64
+	const trials = 200000
+	for i := 0; i < trials; i++ {
+		sum += Biased.Sample(rng)
+	}
+	mean := sum / trials
+	if math.Abs(mean-BiasShift) > 0.05*UniformScale {
+		t.Fatalf("biased mean = %v, want ≈ %v", mean, float64(BiasShift))
+	}
+}
+
+func TestFillRandomDeterministic(t *testing.T) {
+	a, b := New(9), New(9)
+	FillRandom(a, Unbiased, rand.New(rand.NewSource(42)))
+	FillRandom(b, Unbiased, rand.New(rand.NewSource(42)))
+	for i := range a.Data() {
+		if a.Data()[i] != b.Data()[i] {
+			t.Fatal("FillRandom not deterministic for equal seeds")
+		}
+	}
+}
+
+func TestFillBoundaryRandomLeavesInterior(t *testing.T) {
+	g := New(5)
+	FillBoundaryRandom(g, Unbiased, rand.New(rand.NewSource(3)))
+	for i := 1; i < 4; i++ {
+		for j := 1; j < 4; j++ {
+			if g.At(i, j) != 0 {
+				t.Fatal("FillBoundaryRandom wrote to interior")
+			}
+		}
+	}
+	if g.At(0, 2) == 0 && g.At(4, 2) == 0 && g.At(2, 0) == 0 {
+		t.Fatal("boundary appears unfilled")
+	}
+}
+
+func TestFillPointSources(t *testing.T) {
+	g := New(17)
+	FillRandom(g, PointSources, rand.New(rand.NewSource(5)))
+	nonzero := 0
+	for _, v := range g.Data() {
+		if v != 0 {
+			nonzero++
+			if math.Abs(v) != UniformScale {
+				t.Fatalf("point source magnitude %v, want ±2^32", v)
+			}
+		}
+	}
+	if nonzero == 0 || nonzero > 17 {
+		t.Fatalf("point source count = %d, want in (0,17]", nonzero)
+	}
+	// Boundary must stay zero.
+	for j := 0; j < 17; j++ {
+		if g.At(0, j) != 0 || g.At(16, j) != 0 {
+			t.Fatal("point source placed on boundary")
+		}
+	}
+}
+
+// Property: Level and SizeOfLevel are inverses for all valid levels.
+func TestLevelSizeInverseProperty(t *testing.T) {
+	f := func(k uint8) bool {
+		lvl := int(k%29) + 1
+		return Level(SizeOfLevel(lvl)) == lvl
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: AccuracyLevel is scale-invariant — scaling all three grids by
+// the same nonzero factor leaves the ratio unchanged.
+func TestAccuracyScaleInvarianceProperty(t *testing.T) {
+	f := func(seed int64, scaleBits uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := 0.5 + float64(scaleBits%100)/10 // in [0.5, 10.4]
+		xin, xout, xopt := New(5), New(5), New(5)
+		FillRandom(xin, Unbiased, rng)
+		FillRandom(xout, Unbiased, rng)
+		FillRandom(xopt, Unbiased, rng)
+		a1 := AccuracyLevel(xin, xout, xopt)
+		for _, g := range []*Grid{xin, xout, xopt} {
+			g.Scale(s)
+		}
+		a2 := AccuracyLevel(xin, xout, xopt)
+		return math.Abs(a1-a2) <= 1e-9*math.Max(a1, a2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: L2DiffInterior satisfies the triangle inequality.
+func TestL2TriangleInequalityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b, c := New(9), New(9), New(9)
+		FillRandom(a, Unbiased, rng)
+		FillRandom(b, Unbiased, rng)
+		FillRandom(c, Unbiased, rng)
+		ab := L2DiffInterior(a, b)
+		bc := L2DiffInterior(b, c)
+		ac := L2DiffInterior(a, c)
+		return ac <= ab+bc+1e-6*(ab+bc)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

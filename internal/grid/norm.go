@@ -1,0 +1,68 @@
+package grid
+
+import "math"
+
+// L2Interior returns the L2 norm of g over interior points only.
+// Boundary entries are excluded because Dirichlet boundaries are fixed and
+// carry no error.
+func L2Interior(g *Grid) float64 {
+	n := g.n
+	var sum float64
+	for i := 1; i < n-1; i++ {
+		row := g.Row(i)
+		for j := 1; j < n-1; j++ {
+			v := row[j]
+			sum += v * v
+		}
+	}
+	return math.Sqrt(sum)
+}
+
+// L2DiffInterior returns the L2 norm of (a − b) over interior points.
+func L2DiffInterior(a, b *Grid) float64 {
+	if a.n != b.n {
+		panic("grid: L2DiffInterior size mismatch")
+	}
+	n := a.n
+	var sum float64
+	for i := 1; i < n-1; i++ {
+		ar, br := a.Row(i), b.Row(i)
+		for j := 1; j < n-1; j++ {
+			d := ar[j] - br[j]
+			sum += d * d
+		}
+	}
+	return math.Sqrt(sum)
+}
+
+// MaxAbsInterior returns the max-norm of g over interior points.
+func MaxAbsInterior(g *Grid) float64 {
+	n := g.n
+	var m float64
+	for i := 1; i < n-1; i++ {
+		row := g.Row(i)
+		for j := 1; j < n-1; j++ {
+			if v := math.Abs(row[j]); v > m {
+				m = v
+			}
+		}
+	}
+	return m
+}
+
+// AccuracyLevel implements the paper's accuracy metric (§2.2): the ratio of
+// the input error norm to the output error norm, both measured against the
+// optimal solution xopt. Higher is better. If the output error is zero
+// (exact solve) the result is +Inf; if the input error is also zero the
+// result is defined as 1 (no improvement possible or needed).
+func AccuracyLevel(xin, xout, xopt *Grid) float64 {
+	ein := L2DiffInterior(xin, xopt)
+	eout := L2DiffInterior(xout, xopt)
+	if eout == 0 {
+		if ein == 0 {
+			return 1
+		}
+		return math.Inf(1)
+	}
+	return ein / eout
+}

@@ -1,0 +1,112 @@
+package mg
+
+import (
+	"pbmg/internal/grid"
+	"pbmg/internal/stencil"
+	"pbmg/internal/transfer"
+)
+
+// This file implements the paper's algorithmically static baselines:
+// MULTIGRID-V-SIMPLE (§2.1), the reference iterated V-cycle, and the
+// reference full multigrid algorithm (§4.2.2), plus the iterate-until-
+// accuracy driver shared by all of them.
+
+// RefVCycle performs one standard V-cycle on x in place: one pre-smoothing
+// sweep, coarse-grid correction by recursion down to the N=3 direct base
+// case, and one post-smoothing sweep — exactly MULTIGRID-V-SIMPLE.
+func (ws *Workspace) RefVCycle(x, b *grid.Grid, rec Recorder) {
+	if x.N() == 3 {
+		ws.SolveDirect(x, b, rec)
+		return
+	}
+	ws.RecurseWith(x, b, rec, func(cx, cb *grid.Grid) {
+		ws.RefVCycle(cx, cb, rec)
+	})
+}
+
+// RefWCycle performs one standard W-cycle on x in place: like the V-cycle
+// but visiting the coarse level twice per level (cycle index γ=2), the
+// other classic symmetric shape the paper's tuned cycles are compared
+// against conceptually (§2.4).
+func (ws *Workspace) RefWCycle(x, b *grid.Grid, rec Recorder) {
+	if x.N() == 3 {
+		ws.SolveDirect(x, b, rec)
+		return
+	}
+	ws.RecurseWith(x, b, rec, func(cx, cb *grid.Grid) {
+		ws.RefWCycle(cx, cb, rec)
+		if cx.N() > 3 {
+			ws.RefWCycle(cx, cb, rec)
+		}
+	})
+}
+
+// RefFullMG performs one standard full-multigrid pass on x in place: an
+// estimation phase that recursively solves the restricted residual problem
+// (Figure 3), followed by one V-cycle at this resolution.
+func (ws *Workspace) RefFullMG(x, b *grid.Grid, rec Recorder) {
+	n := x.N()
+	if n == 3 {
+		ws.SolveDirect(x, b, rec)
+		return
+	}
+	h := 1.0 / float64(n-1)
+	lvl := grid.Level(n)
+	bufs := ws.buf(n)
+
+	stencil.Residual(ws.Pool, bufs.r, x, b, h)
+	record(rec, EvResidual, lvl, 1)
+	transfer.Restrict(ws.Pool, bufs.cb, bufs.r)
+	record(rec, EvRestrict, lvl, 1)
+	bufs.cx.Zero()
+	ws.RefFullMG(bufs.cx, bufs.cb, rec)
+	transfer.InterpolateAdd(ws.Pool, x, bufs.cx, bufs.scratch)
+	record(rec, EvInterp, lvl, 1)
+	ws.RefVCycle(x, b, rec)
+}
+
+// IterateUntil repeatedly calls step until accuracy() reaches target or
+// maxIters steps have run. It returns the number of steps taken and the
+// accuracy achieved. accuracy is consulted after every step.
+func IterateUntil(target float64, maxIters int, step func(), accuracy func() float64) (iters int, achieved float64) {
+	for iters = 0; iters < maxIters; iters++ {
+		step()
+		achieved = accuracy()
+		if achieved >= target {
+			return iters + 1, achieved
+		}
+	}
+	return iters, achieved
+}
+
+// SolveRefV iterates reference V-cycles until the accuracy target (measured
+// by accuracy()) is met, up to maxIters cycles.
+func (ws *Workspace) SolveRefV(x, b *grid.Grid, target float64, maxIters int, accuracy func() float64, rec Recorder) (int, float64) {
+	return IterateUntil(target, maxIters, func() { ws.RefVCycle(x, b, rec) }, accuracy)
+}
+
+// SolveRefFullMG runs one full-multigrid pass and then iterates V-cycles
+// until the accuracy target is met — the paper's second reference algorithm.
+// The returned iteration count includes the initial FMG pass.
+func (ws *Workspace) SolveRefFullMG(x, b *grid.Grid, target float64, maxIters int, accuracy func() float64, rec Recorder) (int, float64) {
+	ws.RefFullMG(x, b, rec)
+	if a := accuracy(); a >= target {
+		return 1, a
+	}
+	iters, a := IterateUntil(target, maxIters-1, func() { ws.RefVCycle(x, b, rec) }, accuracy)
+	return iters + 1, a
+}
+
+// SolveSOR iterates single SOR sweeps with the size-optimal weight ω_opt
+// until the accuracy target is met — the paper's iterative baseline.
+func (ws *Workspace) SolveSOR(x, b *grid.Grid, target float64, maxIters int, accuracy func() float64, rec Recorder) (int, float64) {
+	n := x.N()
+	h := 1.0 / float64(n-1)
+	omega := stencil.OmegaOpt(n)
+	lvl := grid.Level(n)
+	iters, a := IterateUntil(target, maxIters, func() {
+		stencil.SORSweepRB(ws.Pool, x, b, h, omega)
+	}, accuracy)
+	record(rec, EvIterSolve, lvl, iters)
+	return iters, a
+}

@@ -1,0 +1,117 @@
+package mg
+
+import (
+	"fmt"
+
+	"pbmg/internal/grid"
+	"pbmg/internal/stencil"
+	"pbmg/internal/transfer"
+)
+
+// Executor runs the tuned algorithm families against a workspace. V must be
+// set for SolveV; both V and F must be set for SolveFull (the full-multigrid
+// solve phase reuses tuned RECURSE steps from the V table, as in §2.4).
+// Rec, if non-nil, receives every operation event.
+type Executor struct {
+	WS  *Workspace
+	V   *VTable
+	F   *FTable
+	Rec Recorder
+}
+
+// SolveV runs the tuned MULTIGRID-Vᵢ algorithm for accuracy index accIdx on
+// x in place. The level is inferred from x's size.
+func (e *Executor) SolveV(x, b *grid.Grid, accIdx int) {
+	level := grid.Level(x.N())
+	if level < 1 {
+		panic(fmt.Sprintf("mg: grid size %d is not 2^k+1", x.N()))
+	}
+	if level == 1 {
+		e.WS.SolveDirect(x, b, e.Rec)
+		return
+	}
+	plan := e.V.Plan(level, accIdx)
+	switch plan.Choice {
+	case ChoiceDirect:
+		e.WS.SolveDirect(x, b, e.Rec)
+	case ChoiceSOR:
+		e.WS.SOR(x, b, stencil.OmegaOpt(x.N()), plan.Iters, e.Rec)
+	case ChoiceRecurse:
+		for it := 0; it < plan.Iters; it++ {
+			e.Recurse(x, b, plan.Sub)
+		}
+	case ChoiceVCycle:
+		for it := 0; it < plan.Iters; it++ {
+			e.WS.RefVCycle(x, b, e.Rec)
+		}
+	default:
+		panic(fmt.Sprintf("mg: invalid plan choice %v", plan.Choice))
+	}
+}
+
+// Recurse performs one RECURSE_j step (§2.3) on x in place: one
+// pre-smoothing sweep, residual restriction, a tuned MULTIGRID-V_j solve of
+// the coarse error equation, correction, and one post-smoothing sweep.
+func (e *Executor) Recurse(x, b *grid.Grid, subIdx int) {
+	e.WS.RecurseWith(x, b, e.Rec, func(cx, cb *grid.Grid) {
+		e.SolveV(cx, cb, subIdx)
+	})
+}
+
+// SolveFull runs the tuned FULL-MULTIGRIDᵢ algorithm for accuracy index
+// accIdx on x in place.
+func (e *Executor) SolveFull(x, b *grid.Grid, accIdx int) {
+	level := grid.Level(x.N())
+	if level < 1 {
+		panic(fmt.Sprintf("mg: grid size %d is not 2^k+1", x.N()))
+	}
+	if level == 1 {
+		e.WS.SolveDirect(x, b, e.Rec)
+		return
+	}
+	plan := e.F.Plan(level, accIdx)
+	switch plan.Choice {
+	case FullDirect:
+		e.WS.SolveDirect(x, b, e.Rec)
+		return
+	case FullEstimate:
+		e.Estimate(x, b, plan.EstAcc)
+		switch plan.Solve {
+		case ChoiceSOR:
+			if plan.Iters > 0 {
+				e.WS.SOR(x, b, stencil.OmegaOpt(x.N()), plan.Iters, e.Rec)
+			}
+		case ChoiceRecurse:
+			for it := 0; it < plan.Iters; it++ {
+				e.Recurse(x, b, plan.SolveSub)
+			}
+		case ChoiceVCycle:
+			for it := 0; it < plan.Iters; it++ {
+				e.WS.RefVCycle(x, b, e.Rec)
+			}
+		default:
+			panic(fmt.Sprintf("mg: invalid solve-phase choice %v", plan.Solve))
+		}
+	default:
+		panic(fmt.Sprintf("mg: invalid full plan choice %v", plan.Choice))
+	}
+}
+
+// Estimate performs the ESTIMATE_j phase (§2.4) on x in place: restrict the
+// residual problem to half resolution, solve it with the tuned
+// FULL-MULTIGRID_j, and apply the interpolated correction to x.
+func (e *Executor) Estimate(x, b *grid.Grid, estAcc int) {
+	n := x.N()
+	h := 1.0 / float64(n-1)
+	lvl := grid.Level(n)
+	bufs := e.WS.buf(n)
+
+	stencil.Residual(e.WS.Pool, bufs.r, x, b, h)
+	record(e.Rec, EvResidual, lvl, 1)
+	transfer.Restrict(e.WS.Pool, bufs.cb, bufs.r)
+	record(e.Rec, EvRestrict, lvl, 1)
+	bufs.cx.Zero()
+	e.SolveFull(bufs.cx, bufs.cb, estAcc)
+	transfer.InterpolateAdd(e.WS.Pool, x, bufs.cx, bufs.scratch)
+	record(e.Rec, EvInterp, lvl, 1)
+}

@@ -1,0 +1,60 @@
+package mg
+
+import (
+	"testing"
+
+	"pbmg/internal/grid"
+)
+
+func TestWCycleConvergesFasterPerCycleThanV(t *testing.T) {
+	p, ws := testProblem(t, 33, grid.Unbiased, 31)
+	xv, xw := p.NewState(), p.NewState()
+	ws.RefVCycle(xv, p.B, nil)
+	ws.RefWCycle(xw, p.B, nil)
+	av, aw := p.AccuracyOf(xv), p.AccuracyOf(xw)
+	if aw <= av {
+		t.Fatalf("one W-cycle (%.3g) should out-converge one V-cycle (%.3g)", aw, av)
+	}
+}
+
+func TestWCycleDoesMoreCoarseWork(t *testing.T) {
+	p, ws := testProblem(t, 33, grid.Unbiased, 32)
+	var tv, tw OpTrace
+	xv, xw := p.NewState(), p.NewState()
+	ws.RefVCycle(xv, p.B, &tv)
+	ws.RefWCycle(xw, p.B, &tw)
+	// Same work at the top level...
+	if tv.Count(EvRelax, 5) != tw.Count(EvRelax, 5) {
+		t.Fatal("top-level relaxation counts should match")
+	}
+	// ...but geometrically more at coarse levels.
+	if tw.Count(EvRelax, 3) <= tv.Count(EvRelax, 3) {
+		t.Fatalf("W-cycle coarse relaxations (%d) should exceed V-cycle's (%d)",
+			tw.Count(EvRelax, 3), tv.Count(EvRelax, 3))
+	}
+	if tw.Count(EvDirect, 1) <= tv.Count(EvDirect, 1) {
+		t.Fatal("W-cycle should hit the base case more often")
+	}
+}
+
+func TestWCycleBaseCase(t *testing.T) {
+	p, ws := testProblem(t, 3, grid.Biased, 33)
+	x := p.NewState()
+	ws.RefWCycle(x, p.B, nil)
+	if acc := p.AccuracyOf(x); acc < 1e10 {
+		t.Fatalf("N=3 W-cycle should be an exact direct solve, accuracy %.3g", acc)
+	}
+}
+
+func TestWCycleReachesTargetInFewerIterations(t *testing.T) {
+	p, ws := testProblem(t, 65, grid.Biased, 34)
+	xv := p.NewState()
+	iv, _ := IterateUntil(1e9, 100, func() { ws.RefVCycle(xv, p.B, nil) },
+		func() float64 { return p.AccuracyOf(xv) })
+	xw := p.NewState()
+	iw, _ := IterateUntil(1e9, 100, func() { ws.RefWCycle(xw, p.B, nil) },
+		func() float64 { return p.AccuracyOf(xw) })
+	if iw > iv {
+		t.Fatalf("W-cycles took more iterations (%d) than V-cycles (%d)", iw, iv)
+	}
+}

@@ -1,0 +1,165 @@
+package mg
+
+import (
+	"fmt"
+
+	"pbmg/internal/direct"
+	"pbmg/internal/grid"
+	"pbmg/internal/sched"
+	"pbmg/internal/stencil"
+	"pbmg/internal/transfer"
+)
+
+// Workspace owns the scratch grids, direct-solver plans, and worker pool
+// shared by multigrid executions. Reusing one Workspace across many solves
+// keeps inner loops allocation-free.
+//
+// A Workspace is not safe for concurrent solves; create one per goroutine.
+type Workspace struct {
+	// Pool parallelizes the stencil and transfer kernels. Nil runs serially.
+	Pool *sched.Pool
+	// Smoother selects the in-cycle relaxation kernel. The paper fixes
+	// red-black SOR with ω=1.15 after finding it beat weighted Jacobi on
+	// its training data (§2.3); SmootherJacobi reproduces that ablation.
+	Smoother Smoother
+	// CacheDirectFactor controls whether band-Cholesky factorizations are
+	// reused across direct-solve calls. The default (false) re-factors on
+	// every call, matching the cost profile of LAPACK's DPBSV that the
+	// paper's direct choice pays; enable it for reference-solution
+	// computation where only the answer matters.
+	CacheDirectFactor bool
+
+	cache direct.Cache
+	bufs  map[int]*levelBufs
+}
+
+// levelBufs holds the scratch grids a cycle needs at one grid size n:
+// the residual and interpolation scratch at size n, and the coarse
+// right-hand side and coarse solution at size (n+1)/2.
+type levelBufs struct {
+	r, scratch *grid.Grid
+	cb, cx     *grid.Grid
+}
+
+// NewWorkspace returns a workspace using the given pool (nil for serial).
+func NewWorkspace(pool *sched.Pool) *Workspace {
+	return &Workspace{Pool: pool, bufs: make(map[int]*levelBufs)}
+}
+
+// buf returns (allocating on first use) the scratch set for grid size n ≥ 5.
+func (ws *Workspace) buf(n int) *levelBufs {
+	b, ok := ws.bufs[n]
+	if !ok {
+		if grid.Level(n) < 2 {
+			panic(fmt.Sprintf("mg: no scratch buffers for size %d", n))
+		}
+		nc := grid.Coarsen(n)
+		b = &levelBufs{
+			r:       grid.New(n),
+			scratch: grid.New(n),
+			cb:      grid.New(nc),
+			cx:      grid.New(nc),
+		}
+		ws.bufs[n] = b
+	}
+	return b
+}
+
+// SolveDirect overwrites x's interior with the exact solution of T·x = b via
+// band Cholesky, using x's boundary as Dirichlet data.
+func (ws *Workspace) SolveDirect(x, b *grid.Grid, rec Recorder) {
+	n := x.N()
+	h := 1.0 / float64(n-1)
+	var s *direct.PoissonSolver
+	if ws.CacheDirectFactor {
+		s = ws.cache.Get(n)
+	} else {
+		s = direct.NewPoissonSolver(n)
+	}
+	s.Solve(x, b, h)
+	record(rec, EvDirect, grid.Level(n), 1)
+}
+
+// SOR runs the given number of red-black SOR sweeps with weight omega,
+// recording them as one iterative shortcut solve.
+func (ws *Workspace) SOR(x, b *grid.Grid, omega float64, sweeps int, rec Recorder) {
+	n := x.N()
+	h := 1.0 / float64(n-1)
+	for s := 0; s < sweeps; s++ {
+		stencil.SORSweepRB(ws.Pool, x, b, h, omega)
+	}
+	record(rec, EvIterSolve, grid.Level(n), sweeps)
+}
+
+// Smoother selects the relaxation kernel used inside cycles.
+type Smoother int
+
+const (
+	// SmootherSOR is red-black SOR with ω = 1.15, the paper's choice.
+	SmootherSOR Smoother = iota
+	// SmootherJacobi is weighted Jacobi with the classic w = 2/3, the
+	// alternative the paper evaluated and rejected (§2.3).
+	SmootherJacobi
+)
+
+// String returns the smoother name.
+func (s Smoother) String() string {
+	switch s {
+	case SmootherSOR:
+		return "sor-1.15"
+	case SmootherJacobi:
+		return "jacobi-2/3"
+	default:
+		return fmt.Sprintf("Smoother(%d)", int(s))
+	}
+}
+
+// jacobiWeight is the standard smoothing weight for weighted Jacobi on the
+// 5-point Laplacian.
+const jacobiWeight = 2.0 / 3.0
+
+// smooth runs sweeps of the configured smoother and records them as
+// relaxations.
+func (ws *Workspace) smooth(x, b *grid.Grid, sweeps int, rec Recorder) {
+	n := x.N()
+	h := 1.0 / float64(n-1)
+	switch ws.Smoother {
+	case SmootherJacobi:
+		tmp := ws.buf(n).scratch
+		for s := 0; s < sweeps; s++ {
+			stencil.JacobiSweep(ws.Pool, tmp, x, b, h, jacobiWeight)
+			x.CopyFrom(tmp)
+		}
+	default:
+		for s := 0; s < sweeps; s++ {
+			stencil.SORSweepRB(ws.Pool, x, b, h, stencil.OmegaRecurse)
+		}
+	}
+	record(rec, EvRelax, grid.Level(n), sweeps)
+}
+
+// RecurseWith performs the shared coarse-grid-correction skeleton of
+// RECURSE and the reference V-cycle: pre-smooth, restrict the residual,
+// delegate the coarse error equation to coarseSolve, correct, post-smooth.
+// coarseSolve receives a zeroed coarse state and the restricted residual.
+func (ws *Workspace) RecurseWith(x, b *grid.Grid, rec Recorder, coarseSolve func(cx, cb *grid.Grid)) {
+	n := x.N()
+	if n == 3 {
+		ws.SolveDirect(x, b, rec)
+		return
+	}
+	h := 1.0 / float64(n-1)
+	lvl := grid.Level(n)
+	bufs := ws.buf(n)
+
+	ws.smooth(x, b, 1, rec)
+	stencil.Residual(ws.Pool, bufs.r, x, b, h)
+	record(rec, EvResidual, lvl, 1)
+	transfer.Restrict(ws.Pool, bufs.cb, bufs.r)
+	record(rec, EvRestrict, lvl, 1)
+	bufs.cx.Zero()
+	coarseSolve(bufs.cx, bufs.cb)
+	transfer.InterpolateAdd(ws.Pool, x, bufs.cx, bufs.scratch)
+	record(rec, EvInterp, lvl, 1)
+	ws.smooth(x, b, 1, rec)
+}

@@ -1,0 +1,160 @@
+// Package pbx is a Go library rendition of the PetaBricks language
+// constructs the paper builds on (§3): a Transform declares a computation,
+// its Rules declare the algorithmic choices that can compute it, and an
+// Instance binds a transform to a tuned Selector that dispatches among
+// rules by input size — the "multi-level algorithm" the PetaBricks
+// autotuner constructs. The package also provides that autotuner: a
+// bottom-up population search over doubling input sizes (§3.2.2) and an
+// n-ary search for scalar tunables such as parallel-sequential cutoffs.
+//
+// Algorithmic choice is a first-class Go value here rather than a language
+// keyword; the search behaviour mirrors the paper's description.
+package pbx
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Config carries tunable parameter values by name.
+type Config map[string]int
+
+// Get returns the configured value for name, or def when unset.
+func (c Config) Get(name string, def int) int {
+	if v, ok := c[name]; ok {
+		return v
+	}
+	return def
+}
+
+// Clone returns an independent copy of the config.
+func (c Config) Clone() Config {
+	out := make(Config, len(c))
+	for k, v := range c {
+		out[k] = v
+	}
+	return out
+}
+
+// Rule is one algorithmic choice for computing a transform. Apply must
+// compute the output in place on in; it may recurse through self.Run, which
+// re-dispatches on the (smaller) input — this is how rule compositions such
+// as "merge sort above the cutoff, insertion sort below" arise.
+type Rule[T any] struct {
+	Name  string
+	Apply func(self *Instance[T], in T)
+}
+
+// Transform declares a computation with algorithmic choice.
+type Transform[T any] struct {
+	Name string
+	// Size maps an input to the size used for dispatch and tuning.
+	Size  func(T) int
+	Rules []Rule[T]
+}
+
+// RuleIndex returns the index of the named rule, or -1.
+func (t *Transform[T]) RuleIndex(name string) int {
+	for i, r := range t.Rules {
+		if r.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Level is one dispatch band of a selector: inputs of size ≤ MaxSize use
+// Rule.
+type Level struct {
+	MaxSize int `json:"maxSize"`
+	Rule    int `json:"rule"`
+}
+
+// Selector dispatches an input size to a rule: the first level whose
+// MaxSize bounds the size wins; larger inputs use Top. Selectors are the
+// tuned artifact of the population autotuner, PetaBricks' multi-level
+// algorithm.
+type Selector struct {
+	Levels []Level `json:"levels,omitempty"`
+	Top    int     `json:"top"`
+}
+
+// RuleFor returns the rule index for an input of the given size.
+func (s *Selector) RuleFor(size int) int {
+	for _, l := range s.Levels {
+		if size <= l.MaxSize {
+			return l.Rule
+		}
+	}
+	return s.Top
+}
+
+// normalize sorts levels and drops shadowed ones so equal behaviour implies
+// equal representation.
+func (s *Selector) normalize() {
+	sort.Slice(s.Levels, func(i, j int) bool { return s.Levels[i].MaxSize < s.Levels[j].MaxSize })
+	out := s.Levels[:0]
+	for _, l := range s.Levels {
+		if n := len(out); n > 0 && out[n-1].MaxSize == l.MaxSize {
+			continue // earlier (smaller) level shadows this one
+		}
+		out = append(out, l)
+	}
+	// Merge adjacent levels with the same rule.
+	merged := out[:0]
+	for _, l := range out {
+		if n := len(merged); n > 0 && merged[n-1].Rule == l.Rule {
+			merged[n-1].MaxSize = l.MaxSize
+			continue
+		}
+		merged = append(merged, l)
+	}
+	if n := len(merged); n > 0 && merged[n-1].Rule == s.Top {
+		merged = merged[:n-1]
+	}
+	s.Levels = merged
+}
+
+// key returns a canonical string identity for population dedup.
+func (s *Selector) key() string {
+	out := fmt.Sprintf("top=%d", s.Top)
+	for _, l := range s.Levels {
+		out += fmt.Sprintf(";%d:%d", l.MaxSize, l.Rule)
+	}
+	return out
+}
+
+// clone returns an independent copy.
+func (s *Selector) clone() *Selector {
+	return &Selector{Levels: append([]Level(nil), s.Levels...), Top: s.Top}
+}
+
+// Instance binds a transform to a selector and parameter config, ready to
+// run. The zero selector always uses rule 0.
+type Instance[T any] struct {
+	Transform *Transform[T]
+	Selector  *Selector
+	Cfg       Config
+}
+
+// NewInstance returns an instance of t using sel (nil: rule 0 always) and
+// cfg (nil: defaults).
+func NewInstance[T any](t *Transform[T], sel *Selector, cfg Config) *Instance[T] {
+	if sel == nil {
+		sel = &Selector{}
+	}
+	if cfg == nil {
+		cfg = Config{}
+	}
+	return &Instance[T]{Transform: t, Selector: sel, Cfg: cfg}
+}
+
+// Run computes the transform on in, dispatching by input size.
+func (i *Instance[T]) Run(in T) {
+	size := i.Transform.Size(in)
+	r := i.Selector.RuleFor(size)
+	if r < 0 || r >= len(i.Transform.Rules) {
+		panic(fmt.Sprintf("pbx: selector rule %d out of range for %s", r, i.Transform.Name))
+	}
+	i.Transform.Rules[r].Apply(i, in)
+}

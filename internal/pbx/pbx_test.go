@@ -1,0 +1,252 @@
+package pbx
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// sortTransform builds the paper's motivating example (§1): a sort with an
+// O(n log n) rule that recurses through the instance (so tuned cutoffs
+// apply at every recursion depth) and an O(n²) insertion rule that wins on
+// small inputs. ops counts comparisons so tests are deterministic.
+func sortTransform(ops *int) *Transform[[]int] {
+	t := &Transform[[]int]{
+		Name: "sort",
+		Size: func(s []int) int { return len(s) },
+	}
+	insertion := Rule[[]int]{
+		Name: "insertion",
+		Apply: func(self *Instance[[]int], s []int) {
+			for i := 1; i < len(s); i++ {
+				v := s[i]
+				j := i - 1
+				for j >= 0 && s[j] > v {
+					*ops++
+					s[j+1] = s[j]
+					j--
+				}
+				*ops += 2
+				s[j+1] = v
+			}
+		},
+	}
+	merge := Rule[[]int]{
+		Name: "merge",
+		Apply: func(self *Instance[[]int], s []int) {
+			if len(s) < 2 {
+				return
+			}
+			mid := len(s) / 2
+			left := append([]int(nil), s[:mid]...)
+			right := append([]int(nil), s[mid:]...)
+			self.Run(left)
+			self.Run(right)
+			i, j := 0, 0
+			for k := range s {
+				*ops += 3 // compare + move + bookkeeping
+				switch {
+				case i < len(left) && (j >= len(right) || left[i] <= right[j]):
+					s[k] = left[i]
+					i++
+				default:
+					s[k] = right[j]
+					j++
+				}
+			}
+			*ops += 40 // allocation/recursion overhead
+		},
+	}
+	t.Rules = []Rule[[]int]{insertion, merge}
+	return t
+}
+
+func TestConfigGetClone(t *testing.T) {
+	c := Config{"cutoff": 8}
+	if c.Get("cutoff", 1) != 8 || c.Get("missing", 42) != 42 {
+		t.Fatal("Config.Get mismatch")
+	}
+	d := c.Clone()
+	d["cutoff"] = 9
+	if c["cutoff"] != 8 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestSelectorDispatch(t *testing.T) {
+	s := &Selector{Levels: []Level{{MaxSize: 16, Rule: 0}, {MaxSize: 256, Rule: 2}}, Top: 1}
+	cases := map[int]int{1: 0, 16: 0, 17: 2, 256: 2, 257: 1, 1 << 20: 1}
+	for size, want := range cases {
+		if got := s.RuleFor(size); got != want {
+			t.Errorf("RuleFor(%d) = %d, want %d", size, got, want)
+		}
+	}
+}
+
+func TestSelectorNormalize(t *testing.T) {
+	s := &Selector{Levels: []Level{{MaxSize: 64, Rule: 1}, {MaxSize: 16, Rule: 1}, {MaxSize: 64, Rule: 0}}, Top: 1}
+	s.normalize()
+	// 16→1 merges into 64→1; 64→0 is shadowed; 64→1 equals Top so drops.
+	if len(s.Levels) != 0 {
+		t.Fatalf("normalize left %v", s.Levels)
+	}
+}
+
+func TestInstanceRunsCorrectSort(t *testing.T) {
+	ops := 0
+	tr := sortTransform(&ops)
+	sel := &Selector{Levels: []Level{{MaxSize: 8, Rule: 0}}, Top: 1}
+	inst := NewInstance(tr, sel, nil)
+	rng := rand.New(rand.NewSource(1))
+	data := make([]int, 500)
+	for i := range data {
+		data[i] = rng.Intn(1000)
+	}
+	inst.Run(data)
+	if !sort.IntsAreSorted(data) {
+		t.Fatal("tuned sort did not sort")
+	}
+}
+
+func TestInstanceZeroSelectorUsesRuleZero(t *testing.T) {
+	ops := 0
+	tr := sortTransform(&ops)
+	inst := NewInstance(tr, nil, nil)
+	data := []int{3, 1, 2}
+	inst.Run(data)
+	if !sort.IntsAreSorted(data) {
+		t.Fatal("rule 0 did not sort")
+	}
+}
+
+func TestRuleIndex(t *testing.T) {
+	ops := 0
+	tr := sortTransform(&ops)
+	if tr.RuleIndex("merge") != 1 || tr.RuleIndex("insertion") != 0 || tr.RuleIndex("quick") != -1 {
+		t.Fatal("RuleIndex mismatch")
+	}
+}
+
+func TestTuneFindsHybridSort(t *testing.T) {
+	ops := 0
+	tr := sortTransform(&ops)
+	sel, err := Tune(TuneConfig[[]int]{
+		Transform: tr,
+		Gen: func(rng *rand.Rand, size int) []int {
+			data := make([]int, size)
+			for i := range data {
+				data[i] = rng.Intn(1 << 20)
+			}
+			return data
+		},
+		Clone:  func(s []int) []int { return append([]int(nil), s...) },
+		Sizes:  []int{4, 8, 16, 32, 64, 128, 256, 512, 1024},
+		Trials: 2,
+		Seed:   1,
+		Measure: func(run func()) float64 {
+			before := ops
+			run()
+			return float64(ops - before)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The tuned algorithm must be a genuine hybrid: merge sort on top,
+	// insertion sort below some cutoff.
+	if sel.Top != tr.RuleIndex("merge") {
+		t.Fatalf("tuned top rule = %d, want merge; selector %+v", sel.Top, sel)
+	}
+	if len(sel.Levels) == 0 {
+		t.Fatalf("tuned selector has no insertion cutoff: %+v", sel)
+	}
+	cut := sel.Levels[0]
+	if cut.Rule != tr.RuleIndex("insertion") || cut.MaxSize < 4 || cut.MaxSize > 512 {
+		t.Fatalf("implausible cutoff %+v", cut)
+	}
+	// And it must still sort correctly.
+	inst := NewInstance(tr, sel, nil)
+	data := rand.New(rand.NewSource(9)).Perm(2000)
+	inst.Run(data)
+	if !sort.IntsAreSorted(data) {
+		t.Fatal("tuned hybrid does not sort")
+	}
+}
+
+func TestTuneValidation(t *testing.T) {
+	if _, err := Tune(TuneConfig[[]int]{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+	ops := 0
+	tr := sortTransform(&ops)
+	if _, err := Tune(TuneConfig[[]int]{
+		Transform: tr,
+		Gen:       func(rng *rand.Rand, size int) []int { return make([]int, size) },
+		Clone:     func(s []int) []int { return append([]int(nil), s...) },
+	}); err == nil {
+		t.Fatal("missing sizes accepted")
+	}
+}
+
+func TestNarySearchFindsMinimum(t *testing.T) {
+	f := func(x int) float64 { d := float64(x - 137); return d * d }
+	if got := NarySearch(0, 1000, 4, f); got != 137 {
+		t.Fatalf("NarySearch = %d, want 137", got)
+	}
+	if got := NarySearch(1000, 0, 4, f); got != 137 {
+		t.Fatalf("NarySearch with swapped bounds = %d, want 137", got)
+	}
+	if got := NarySearch(140, 150, 3, f); got != 140 {
+		t.Fatalf("boundary minimum = %d, want 140", got)
+	}
+}
+
+func TestNarySearchTinyRange(t *testing.T) {
+	f := func(x int) float64 { return float64(-x) }
+	if got := NarySearch(3, 5, 8, f); got != 5 {
+		t.Fatalf("NarySearch tiny = %d, want 5", got)
+	}
+	if got := NarySearch(7, 7, 2, f); got != 7 {
+		t.Fatalf("NarySearch single = %d, want 7", got)
+	}
+}
+
+// Property: NarySearch on any unimodal (convex) function returns the true
+// minimizer.
+func TestNarySearchUnimodalProperty(t *testing.T) {
+	f := func(min uint16, arity uint8) bool {
+		m := int(min % 2000)
+		obj := func(x int) float64 { d := float64(x - m); return d*d + 3 }
+		got := NarySearch(0, 2000, int(arity%6)+2, obj)
+		return got == m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: selectors after normalize dispatch identically to before.
+func TestNormalizePreservesDispatchProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		raw := &Selector{Top: rng.Intn(3)}
+		for i := 0; i < rng.Intn(5); i++ {
+			raw.Levels = append(raw.Levels, Level{MaxSize: 1 + rng.Intn(100), Rule: rng.Intn(3)})
+		}
+		// Pre-sort so the "first matching level wins" semantics are
+		// well-defined independent of insertion order.
+		sort.Slice(raw.Levels, func(i, j int) bool { return raw.Levels[i].MaxSize < raw.Levels[j].MaxSize })
+		norm := raw.clone()
+		norm.normalize()
+		for size := 1; size <= 110; size++ {
+			if raw.RuleFor(size) != norm.RuleFor(size) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,98 @@
+// Package problem defines Poisson problem instances — right-hand side,
+// Dirichlet boundary data, and (once computed) the reference "optimal"
+// solution — and the paper's accuracy yardstick measured against it.
+//
+// Following §4 of the paper, random instances draw the right-hand side b and
+// the boundary of x from one of the training distributions (unbiased
+// uniform, biased uniform, point sources). The initial state is the given
+// boundary with a zero interior guess.
+package problem
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pbmg/internal/grid"
+)
+
+// Problem is one instance of the discrete Poisson problem T·x = b on an
+// N×N grid over the unit square (mesh spacing H = 1/(N−1)) with Dirichlet
+// boundary values.
+type Problem struct {
+	N        int
+	H        float64
+	Dist     grid.Distribution
+	B        *grid.Grid // right-hand side
+	Boundary *grid.Grid // boundary values; interior entries are zero
+	opt      *grid.Grid // reference solution, set via SetOptimal
+}
+
+// Random draws a problem of side n from the given distribution. The
+// right-hand side is fully random; only the border of the state is random
+// (interior boundary grid entries stay zero).
+func Random(n int, dist grid.Distribution, rng *rand.Rand) *Problem {
+	if n < 3 {
+		panic(fmt.Sprintf("problem: side %d too small", n))
+	}
+	p := &Problem{
+		N:        n,
+		H:        1.0 / float64(n-1),
+		Dist:     dist,
+		B:        grid.New(n),
+		Boundary: grid.New(n),
+	}
+	grid.FillRandom(p.B, dist, rng)
+	grid.FillBoundaryRandom(p.Boundary, dist, rng)
+	return p
+}
+
+// Zero returns a homogeneous problem (zero RHS and boundary) of side n,
+// useful for error-equation sub-problems and tests.
+func Zero(n int) *Problem {
+	return &Problem{N: n, H: 1.0 / float64(n-1), B: grid.New(n), Boundary: grid.New(n)}
+}
+
+// NewState returns a fresh solver state: the problem's boundary values with
+// a zero interior guess.
+func (p *Problem) NewState() *grid.Grid {
+	return p.Boundary.Clone()
+}
+
+// SetOptimal records the reference solution used by the accuracy metric.
+// The grid is cloned, so later mutation of x does not affect the problem.
+func (p *Problem) SetOptimal(x *grid.Grid) {
+	if x.N() != p.N {
+		panic("problem: SetOptimal size mismatch")
+	}
+	p.opt = x.Clone()
+}
+
+// Optimal returns the reference solution, or nil if not yet computed.
+func (p *Problem) Optimal() *grid.Grid { return p.opt }
+
+// InitialError returns ‖x₀ − x_opt‖₂ for the standard zero-interior initial
+// guess. It panics if the reference solution has not been set.
+func (p *Problem) InitialError() float64 {
+	p.mustOpt()
+	return grid.L2DiffInterior(p.Boundary, p.opt)
+}
+
+// AccuracyOf returns the paper's accuracy level of a candidate output x,
+// measured from the standard initial guess:
+// ‖x₀ − x_opt‖₂ / ‖x − x_opt‖₂.
+func (p *Problem) AccuracyOf(x *grid.Grid) float64 {
+	p.mustOpt()
+	return grid.AccuracyLevel(p.Boundary, x, p.opt)
+}
+
+// ErrorOf returns ‖x − x_opt‖₂ over the interior.
+func (p *Problem) ErrorOf(x *grid.Grid) float64 {
+	p.mustOpt()
+	return grid.L2DiffInterior(x, p.opt)
+}
+
+func (p *Problem) mustOpt() {
+	if p.opt == nil {
+		panic("problem: reference solution not set; compute it first")
+	}
+}

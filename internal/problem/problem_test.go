@@ -1,0 +1,105 @@
+package problem
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pbmg/internal/grid"
+)
+
+func TestRandomProblemShape(t *testing.T) {
+	p := Random(17, grid.Unbiased, rand.New(rand.NewSource(1)))
+	if p.N != 17 || math.Abs(p.H-1.0/16) > 1e-15 {
+		t.Fatalf("N=%d H=%v, want 17, 1/16", p.N, p.H)
+	}
+	// Boundary grid interior must be zero.
+	for i := 1; i < 16; i++ {
+		for j := 1; j < 16; j++ {
+			if p.Boundary.At(i, j) != 0 {
+				t.Fatal("Boundary grid has nonzero interior")
+			}
+		}
+	}
+}
+
+func TestRandomTooSmallPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Random(2) did not panic")
+		}
+	}()
+	Random(2, grid.Unbiased, rand.New(rand.NewSource(1)))
+}
+
+func TestNewStateIndependent(t *testing.T) {
+	p := Random(9, grid.Biased, rand.New(rand.NewSource(2)))
+	s1 := p.NewState()
+	s1.Set(4, 4, 99)
+	s2 := p.NewState()
+	if s2.At(4, 4) != 0 {
+		t.Fatal("NewState shares storage across calls")
+	}
+	if s1.At(0, 3) != p.Boundary.At(0, 3) {
+		t.Fatal("NewState did not copy boundary")
+	}
+}
+
+func TestAccuracyOfUsesInitialGuess(t *testing.T) {
+	p := Zero(5)
+	opt := grid.New(5)
+	opt.Set(2, 2, 10)
+	p.SetOptimal(opt)
+	// Initial guess has error 10; an output with error 1 has accuracy 10.
+	x := grid.New(5)
+	x.Set(2, 2, 9)
+	if got := p.AccuracyOf(x); math.Abs(got-10) > 1e-12 {
+		t.Fatalf("AccuracyOf = %v, want 10", got)
+	}
+	if got := p.InitialError(); math.Abs(got-10) > 1e-12 {
+		t.Fatalf("InitialError = %v, want 10", got)
+	}
+	if got := p.ErrorOf(x); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("ErrorOf = %v, want 1", got)
+	}
+}
+
+func TestSetOptimalClones(t *testing.T) {
+	p := Zero(5)
+	opt := grid.New(5)
+	p.SetOptimal(opt)
+	opt.Set(2, 2, 5)
+	if p.Optimal().At(2, 2) != 0 {
+		t.Fatal("SetOptimal did not clone")
+	}
+}
+
+func TestSetOptimalSizeMismatchPanics(t *testing.T) {
+	p := Zero(5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("size mismatch did not panic")
+		}
+	}()
+	p.SetOptimal(grid.New(7))
+}
+
+func TestAccuracyBeforeOptimalPanics(t *testing.T) {
+	p := Zero(5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AccuracyOf before SetOptimal did not panic")
+		}
+	}()
+	p.AccuracyOf(grid.New(5))
+}
+
+func TestRandomDeterministicPerSeed(t *testing.T) {
+	a := Random(9, grid.Unbiased, rand.New(rand.NewSource(7)))
+	b := Random(9, grid.Unbiased, rand.New(rand.NewSource(7)))
+	for i := range a.B.Data() {
+		if a.B.Data()[i] != b.B.Data()[i] {
+			t.Fatal("problems differ for equal seeds")
+		}
+	}
+}

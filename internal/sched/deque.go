@@ -1,0 +1,54 @@
+package sched
+
+import "sync"
+
+// deque is a double-ended work queue. The owning worker pushes and pops at
+// the bottom (LIFO, for locality); thieves steal from the top (FIFO), the
+// protocol used by Cilk-5 and by the PetaBricks runtime the paper builds on.
+// A mutex keeps the implementation simple and portable; contention is low
+// because steals are rare in balanced workloads.
+type deque struct {
+	mu    sync.Mutex
+	tasks []*task
+}
+
+// pushBottom adds t at the owner's end.
+func (d *deque) pushBottom(t *task) {
+	d.mu.Lock()
+	d.tasks = append(d.tasks, t)
+	d.mu.Unlock()
+}
+
+// popBottom removes and returns the most recently pushed task, or nil.
+func (d *deque) popBottom() *task {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := len(d.tasks)
+	if n == 0 {
+		return nil
+	}
+	t := d.tasks[n-1]
+	d.tasks[n-1] = nil
+	d.tasks = d.tasks[:n-1]
+	return t
+}
+
+// stealTop removes and returns the oldest task, or nil.
+func (d *deque) stealTop() *task {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.tasks) == 0 {
+		return nil
+	}
+	t := d.tasks[0]
+	d.tasks[0] = nil
+	d.tasks = d.tasks[1:]
+	return t
+}
+
+// size reports the current number of queued tasks.
+func (d *deque) size() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.tasks)
+}

@@ -1,0 +1,124 @@
+// Package transfer implements the inter-grid operators used by multigrid:
+// full-weighting restriction (fine → coarse) and bilinear interpolation
+// (coarse → fine). Grids move between sizes N = 2^k + 1 and N' = 2^(k−1)+1;
+// coarse point (I, J) sits on top of fine point (2I, 2J).
+//
+// Both operators treat boundaries as homogeneous Dirichlet: multigrid
+// applies them to residual/correction grids, whose boundary error is zero.
+// Full weighting is (1/4)·Pᵀ where P is bilinear interpolation, the classic
+// variationally-consistent pairing.
+package transfer
+
+import (
+	"fmt"
+
+	"pbmg/internal/grid"
+	"pbmg/internal/sched"
+)
+
+const parallelThreshold = 128 // coarse rows below this run serially
+
+// Restrict applies full-weighting restriction of the fine grid into coarse:
+//
+//	c[I,J] = (4·f[2I,2J] + 2·(N,S,E,W neighbours) + corner neighbours) / 16
+//
+// for interior coarse points; the coarse boundary is zeroed. Sizes must be
+// consecutive multigrid levels.
+func Restrict(pool *sched.Pool, coarse, fine *grid.Grid) {
+	nc, nf := coarse.N(), fine.N()
+	if nf != 2*nc-1 {
+		panic(fmt.Sprintf("transfer: Restrict size mismatch fine=%d coarse=%d", nf, nc))
+	}
+	coarse.ZeroBoundary()
+	body := func(lo, hi int) {
+		for ci := lo; ci < hi; ci++ {
+			fi := 2 * ci
+			cr := coarse.Row(ci)
+			mid := fine.Row(fi)
+			up := fine.Row(fi - 1)
+			down := fine.Row(fi + 1)
+			for cj := 1; cj < nc-1; cj++ {
+				fj := 2 * cj
+				cr[cj] = (4*mid[fj] +
+					2*(up[fj]+down[fj]+mid[fj-1]+mid[fj+1]) +
+					up[fj-1] + up[fj+1] + down[fj-1] + down[fj+1]) * (1.0 / 16.0)
+			}
+		}
+	}
+	if pool == nil || pool.Workers() == 1 || nc < parallelThreshold {
+		body(1, nc-1)
+		return
+	}
+	pool.ParallelFor(1, nc-1, 0, body)
+}
+
+// Interpolate applies bilinear interpolation of the coarse grid into fine:
+// coincident fine points copy the coarse value, edge points average two
+// coarse neighbours, and cell centers average four. The fine boundary is
+// zeroed (corrections carry no boundary error).
+func Interpolate(pool *sched.Pool, fine, coarse *grid.Grid) {
+	nc, nf := coarse.N(), fine.N()
+	if nf != 2*nc-1 {
+		panic(fmt.Sprintf("transfer: Interpolate size mismatch fine=%d coarse=%d", nf, nc))
+	}
+	fine.ZeroBoundary()
+	// Each coarse row ci owns fine rows 2ci and 2ci+1 (the latter only when
+	// a coarse row ci+1 exists), so parallel chunks write disjoint rows.
+	body := func(lo, hi int) {
+		for ci := lo; ci < hi; ci++ {
+			fi := 2 * ci
+			cr := coarse.Row(ci)
+			fr := fine.Row(fi)
+			// Even fine row: copy / horizontal average.
+			for cj := 0; cj < nc-1; cj++ {
+				fj := 2 * cj
+				fr[fj] = cr[cj]
+				fr[fj+1] = 0.5 * (cr[cj] + cr[cj+1])
+			}
+			fr[nf-1] = cr[nc-1]
+			if ci == nc-1 {
+				continue
+			}
+			// Odd fine row: vertical / four-point average.
+			next := coarse.Row(ci + 1)
+			fo := fine.Row(fi + 1)
+			for cj := 0; cj < nc-1; cj++ {
+				fj := 2 * cj
+				fo[fj] = 0.5 * (cr[cj] + next[cj])
+				fo[fj+1] = 0.25 * (cr[cj] + cr[cj+1] + next[cj] + next[cj+1])
+			}
+			fo[nf-1] = 0.5 * (cr[nc-1] + next[nc-1])
+		}
+	}
+	if pool == nil || pool.Workers() == 1 || nc < parallelThreshold {
+		body(0, nc)
+	} else {
+		pool.ParallelFor(0, nc, 0, body)
+	}
+	fine.ZeroBoundary()
+}
+
+// InterpolateAdd interpolates coarse into a scratch grid and adds the result
+// to x's interior — the coarse-grid correction step. scratch must be a fine
+// sized grid and must not alias x.
+func InterpolateAdd(pool *sched.Pool, x, coarse, scratch *grid.Grid) {
+	Interpolate(pool, scratch, coarse)
+	x.AddInterior(scratch)
+}
+
+// RestrictProblem restricts a full problem (not a residual): it computes the
+// coarse right-hand side by full weighting and down-samples the boundary of
+// x by injection. Used by the full-multigrid estimation phase, where the
+// coarse problem keeps the original boundary conditions.
+func RestrictProblem(pool *sched.Pool, coarseB, fineB, coarseX, fineX *grid.Grid) {
+	Restrict(pool, coarseB, fineB)
+	nc := coarseX.N()
+	for j := 0; j < nc; j++ {
+		coarseX.Set(0, j, fineX.At(0, 2*j))
+		coarseX.Set(nc-1, j, fineX.At(2*(nc-1), 2*j))
+	}
+	for i := 1; i < nc-1; i++ {
+		coarseX.Set(i, 0, fineX.At(2*i, 0))
+		coarseX.Set(i, nc-1, fineX.At(2*i, 2*(nc-1)))
+	}
+}

@@ -1,0 +1,304 @@
+// Package pbmg is an autotuned multigrid solver for the 2D Poisson
+// equation, a Go reproduction of "Autotuning Multigrid with PetaBricks"
+// (Chan, Ansel, Wong, Amarasinghe, Edelman — SC'09).
+//
+// The package tunes, per machine and per requested accuracy, a hybrid
+// algorithm that mixes direct band-Cholesky solves, red-black SOR, and
+// recursive multigrid cycles whose shape is discovered by a bottom-up
+// dynamic program over (recursion level, accuracy) cells. Typical use:
+//
+//	solver, err := pbmg.Tune(pbmg.Options{MaxSize: 257})
+//	...
+//	p := pbmg.NewProblem(257, pbmg.Unbiased, 42)
+//	x := p.NewState()
+//	err = solver.Solve(x, p.B, 1e7)
+//
+// Tuned configurations serialize to JSON (Solver.Save / Load) so a machine
+// is tuned once and the result reused, exactly like PetaBricks
+// configuration files.
+package pbmg
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pbmg/internal/arch"
+	"pbmg/internal/core"
+	"pbmg/internal/grid"
+	"pbmg/internal/mg"
+	"pbmg/internal/problem"
+	"pbmg/internal/refsol"
+	"pbmg/internal/sched"
+)
+
+// Grid is a square N×N grid of float64 values (row-major). See NewGrid.
+type Grid = grid.Grid
+
+// NewGrid returns a zero-filled n×n grid.
+func NewGrid(n int) *Grid { return grid.New(n) }
+
+// Distribution selects a training/benchmark data distribution from §4 of
+// the paper.
+type Distribution = grid.Distribution
+
+// Training distributions: unbiased uniform over [−2³², 2³²], the same
+// shifted by +2³¹, and random point sources.
+const (
+	Unbiased     = grid.Unbiased
+	Biased       = grid.Biased
+	PointSources = grid.PointSources
+)
+
+// Problem is one Poisson problem instance.
+type Problem = problem.Problem
+
+// NewProblem draws a random problem of side n (must be 2^k+1) from the
+// given distribution.
+func NewProblem(n int, dist Distribution, seed int64) *Problem {
+	return problem.Random(n, dist, rand.New(rand.NewSource(seed)))
+}
+
+// Reference computes the problem's near-exact solution and attaches it, so
+// Problem.AccuracyOf can grade solver outputs.
+func Reference(p *Problem) *Grid {
+	refsol.Attach(p, nil)
+	return p.Optimal()
+}
+
+// Options configures Tune.
+type Options struct {
+	// MaxSize is the finest grid side the solver will handle; must be
+	// 2^k + 1 with k ≥ 2.
+	MaxSize int
+	// Accuracies are the discrete accuracy targets (default: the paper's
+	// 10, 10³, 10⁵, 10⁷, 10⁹).
+	Accuracies []float64
+	// Distribution is the training distribution (default Unbiased).
+	Distribution Distribution
+	// Machine selects a simulated architecture cost model by name
+	// ("intel-harpertown", "amd-barcelona", "sun-niagara"); empty tunes for
+	// the host machine by wall clock.
+	Machine string
+	// Workers sets the worker-pool size for parallel kernels (0: serial).
+	Workers int
+	// Seed fixes the training data.
+	Seed int64
+	// Logf, when non-nil, receives tuning progress lines.
+	Logf func(format string, args ...any)
+}
+
+// Solver is a tuned multigrid solver. Create with Tune or Load; release
+// with Close. A Solver is not safe for concurrent use.
+type Solver struct {
+	tuned *core.Tuned
+	ws    *mg.Workspace
+	pool  *sched.Pool
+}
+
+// Tune trains a solver for the given options by running the paper's
+// dynamic-programming autotuner.
+func Tune(o Options) (*Solver, error) {
+	level := grid.Level(o.MaxSize)
+	if level < 2 {
+		return nil, fmt.Errorf("pbmg: MaxSize must be 2^k+1 with k ≥ 2, got %d", o.MaxSize)
+	}
+	var coster arch.Coster = arch.WallClock{}
+	if o.Machine != "" {
+		m, err := arch.ByName(o.Machine)
+		if err != nil {
+			return nil, err
+		}
+		coster = m
+	}
+	var pool *sched.Pool
+	if o.Workers > 1 {
+		pool = sched.NewPool(o.Workers)
+	}
+	tn, err := core.New(core.Config{
+		Accuracies:   o.Accuracies,
+		MaxLevel:     level,
+		Distribution: o.Distribution,
+		Seed:         o.Seed,
+		Coster:       coster,
+		Pool:         pool,
+		Logf:         o.Logf,
+	})
+	if err != nil {
+		closePool(pool)
+		return nil, err
+	}
+	tuned, err := tn.Tune()
+	if err != nil {
+		closePool(pool)
+		return nil, err
+	}
+	return newSolver(tuned, pool), nil
+}
+
+// Load reads a tuned configuration written by Save. Workers configures the
+// worker pool for this process (0: serial).
+func Load(path string, workers int) (*Solver, error) {
+	tuned, err := core.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	var pool *sched.Pool
+	if workers > 1 {
+		pool = sched.NewPool(workers)
+	}
+	return newSolver(tuned, pool), nil
+}
+
+func newSolver(tuned *core.Tuned, pool *sched.Pool) *Solver {
+	ws := mg.NewWorkspace(pool)
+	ws.CacheDirectFactor = true // production solves reuse factorizations
+	return &Solver{tuned: tuned, ws: ws, pool: pool}
+}
+
+func closePool(p *sched.Pool) {
+	if p != nil {
+		p.Close()
+	}
+}
+
+// Close releases the solver's worker pool.
+func (s *Solver) Close() { closePool(s.pool) }
+
+// Save writes the tuned configuration as JSON.
+func (s *Solver) Save(path string) error { return s.tuned.Save(path) }
+
+// Machine returns the name of the cost model the solver was tuned for.
+func (s *Solver) Machine() string { return s.tuned.Machine }
+
+// MaxSize returns the finest grid side the solver was tuned for.
+func (s *Solver) MaxSize() int { return grid.SizeOfLevel(s.tuned.MaxLevel) }
+
+// Accuracies returns the discrete accuracy targets of the tuned tables.
+func (s *Solver) Accuracies() []float64 {
+	return append([]float64(nil), s.tuned.V.Acc...)
+}
+
+// accIndex returns the index of the smallest tuned target ≥ accuracy.
+func (s *Solver) accIndex(accuracy float64) (int, error) {
+	for i, a := range s.tuned.V.Acc {
+		if a >= accuracy {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("pbmg: accuracy %g exceeds tuned maximum %g",
+		accuracy, s.tuned.V.Acc[len(s.tuned.V.Acc)-1])
+}
+
+// checkSize verifies x is within the tuned range.
+func (s *Solver) checkSize(x *Grid) error {
+	level := grid.Level(x.N())
+	if level < 1 {
+		return fmt.Errorf("pbmg: grid side %d is not 2^k+1", x.N())
+	}
+	if level > s.tuned.MaxLevel {
+		return fmt.Errorf("pbmg: grid side %d exceeds tuned maximum %d", x.N(), s.MaxSize())
+	}
+	return nil
+}
+
+// SolveV solves T·x = b in place with the tuned MULTIGRID-V algorithm for
+// the smallest tuned target ≥ accuracy. x supplies the Dirichlet boundary
+// and initial guess.
+func (s *Solver) SolveV(x, b *Grid, accuracy float64) error {
+	return s.solve(x, b, accuracy, false, nil)
+}
+
+// Solve solves T·x = b in place with the tuned FULL-MULTIGRID algorithm,
+// the paper's best-performing family.
+func (s *Solver) Solve(x, b *Grid, accuracy float64) error {
+	return s.solve(x, b, accuracy, true, nil)
+}
+
+func (s *Solver) solve(x, b *Grid, accuracy float64, full bool, rec mg.Recorder) error {
+	if err := s.checkSize(x); err != nil {
+		return err
+	}
+	idx, err := s.accIndex(accuracy)
+	if err != nil {
+		return err
+	}
+	ex := &mg.Executor{WS: s.ws, V: s.tuned.V, F: s.tuned.F, Rec: rec}
+	if full {
+		if s.tuned.F == nil {
+			return fmt.Errorf("pbmg: solver has no tuned full-multigrid table")
+		}
+		ex.SolveFull(x, b, idx)
+	} else {
+		ex.SolveV(x, b, idx)
+	}
+	return nil
+}
+
+// CycleShape renders the tuned cycle the solver would execute for a problem
+// of side n at the given accuracy, in the ASCII notation of the paper's
+// Figure 5 ('o' relaxation, '\' restrict, '/' interpolate, 'D' direct
+// solve, '~k~' k SOR sweeps).
+func (s *Solver) CycleShape(n int, accuracy float64, full bool) (string, error) {
+	if lvl := grid.Level(n); lvl < 1 || lvl > s.tuned.MaxLevel {
+		return "", fmt.Errorf("pbmg: size %d outside tuned range", n)
+	}
+	idx, err := s.accIndex(accuracy)
+	if err != nil {
+		return "", err
+	}
+	// Execute the plan on a scratch problem, recording the shape. Cycle
+	// structure is data-independent, so any instance yields the shape.
+	p := NewProblem(n, s.tuned.DistributionValue(), 1)
+	var log mg.ShapeLog
+	x := p.NewState()
+	if err := s.solve(x, p.B, s.tuned.V.Acc[idx], full, &log); err != nil {
+		return "", err
+	}
+	return mg.RenderShape(&log), nil
+}
+
+// Describe prints the tuned call tree (the paper's Figure 4 view) for a
+// problem of side n at the given accuracy.
+func (s *Solver) Describe(n int, accuracy float64, full bool) (string, error) {
+	level := grid.Level(n)
+	if level < 1 || level > s.tuned.MaxLevel {
+		return "", fmt.Errorf("pbmg: size %d outside tuned range", n)
+	}
+	idx, err := s.accIndex(accuracy)
+	if err != nil {
+		return "", err
+	}
+	if full {
+		if s.tuned.F == nil {
+			return "", fmt.Errorf("pbmg: solver has no tuned full-multigrid table")
+		}
+		return mg.DescribeFull(s.tuned.F, s.tuned.V, level, idx), nil
+	}
+	return mg.DescribeV(s.tuned.V, level, idx), nil
+}
+
+// SolveAdaptive solves T·x = b with runtime feedback instead of trained
+// iteration counts: tuned RECURSE steps are iterated until the measured
+// residual has shrunk by the given factor, escalating to higher-accuracy
+// sub-algorithms when convergence stagnates — the dynamic tuning the paper
+// sketches as future work (§6). It returns the number of iterations run and
+// the achieved residual reduction.
+func (s *Solver) SolveAdaptive(x, b *Grid, residualReduction float64) (iters int, reduction float64, err error) {
+	if err := s.checkSize(x); err != nil {
+		return 0, 0, err
+	}
+	if residualReduction < 1 {
+		return 0, 0, fmt.Errorf("pbmg: residual reduction %g must be ≥ 1", residualReduction)
+	}
+	a := mg.AdaptiveSolver{Ex: &mg.Executor{WS: s.ws, V: s.tuned.V}}
+	res := a.Solve(x, b, residualReduction, 0)
+	return res.Iters, res.Reduction, nil
+}
+
+// Tuned exposes the underlying tuned bundle for advanced use (experiment
+// harnesses, cross-architecture evaluation).
+func (s *Solver) Tuned() *core.Tuned { return s.tuned }
+
+// Workspace exposes the solver's workspace for advanced use alongside the
+// internal executors.
+func (s *Solver) Workspace() *mg.Workspace { return s.ws }

@@ -1,0 +1,199 @@
+package pbmg
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// tuneSmall tunes a small solver on a simulated machine (deterministic and
+// fast) shared by the facade tests.
+func tuneSmall(t *testing.T) *Solver {
+	t.Helper()
+	s, err := Tune(Options{
+		MaxSize:      33,
+		Distribution: Unbiased,
+		Machine:      "intel-harpertown",
+		Seed:         5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+func TestTuneRejectsBadSizeAndMachine(t *testing.T) {
+	if _, err := Tune(Options{MaxSize: 10}); err == nil {
+		t.Fatal("non 2^k+1 size accepted")
+	}
+	if _, err := Tune(Options{MaxSize: 17, Machine: "pdp-11"}); err == nil {
+		t.Fatal("unknown machine accepted")
+	}
+}
+
+func TestSolveMeetsAccuracy(t *testing.T) {
+	s := tuneSmall(t)
+	p := NewProblem(33, Unbiased, 99)
+	Reference(p)
+	for _, target := range []float64{1e1, 1e3, 1e5} {
+		x := p.NewState()
+		if err := s.Solve(x, p.B, target); err != nil {
+			t.Fatal(err)
+		}
+		if got := p.AccuracyOf(x); got < target*0.1 {
+			t.Errorf("Solve(%g) achieved %.3g", target, got)
+		}
+		xv := p.NewState()
+		if err := s.SolveV(xv, p.B, target); err != nil {
+			t.Fatal(err)
+		}
+		if got := p.AccuracyOf(xv); got < target*0.1 {
+			t.Errorf("SolveV(%g) achieved %.3g", target, got)
+		}
+	}
+}
+
+func TestSolveSmallerThanTunedSize(t *testing.T) {
+	s := tuneSmall(t)
+	p := NewProblem(17, Unbiased, 7)
+	Reference(p)
+	x := p.NewState()
+	if err := s.Solve(x, p.B, 1e5); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.AccuracyOf(x); got < 1e4 {
+		t.Fatalf("sub-size solve achieved %.3g", got)
+	}
+}
+
+func TestSolveErrors(t *testing.T) {
+	s := tuneSmall(t)
+	p := NewProblem(65, Unbiased, 1)
+	if err := s.Solve(p.NewState(), p.B, 1e5); err == nil {
+		t.Fatal("grid larger than tuned size accepted")
+	}
+	q := NewProblem(33, Unbiased, 1)
+	if err := s.Solve(q.NewState(), q.B, 1e12); err == nil {
+		t.Fatal("accuracy above tuned maximum accepted")
+	}
+	bad := NewGrid(10)
+	if err := s.Solve(bad, bad, 10); err == nil {
+		t.Fatal("non 2^k+1 grid accepted")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	s := tuneSmall(t)
+	path := filepath.Join(t.TempDir(), "cfg.json")
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer loaded.Close()
+	if loaded.Machine() != s.Machine() || loaded.MaxSize() != s.MaxSize() {
+		t.Fatal("metadata lost in round trip")
+	}
+	p := NewProblem(33, Unbiased, 4)
+	Reference(p)
+	x := p.NewState()
+	if err := loaded.Solve(x, p.B, 1e5); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.AccuracyOf(x); got < 1e4 {
+		t.Fatalf("loaded solver achieved %.3g", got)
+	}
+}
+
+func TestCycleShapeAndDescribe(t *testing.T) {
+	s := tuneSmall(t)
+	shape, err := s.CycleShape(33, 1e5, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(shape, "|") {
+		t.Fatalf("shape looks wrong:\n%s", shape)
+	}
+	desc, err := s.Describe(33, 1e5, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(desc, "MULTIGRID-V") {
+		t.Fatalf("describe looks wrong:\n%s", desc)
+	}
+	fdesc, err := s.Describe(33, 1e5, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(fdesc, "FULL-MG") {
+		t.Fatalf("full describe looks wrong:\n%s", fdesc)
+	}
+	if _, err := s.CycleShape(65, 1e5, true); err == nil {
+		t.Fatal("CycleShape beyond tuned size accepted")
+	}
+}
+
+func TestAccuraciesAccessor(t *testing.T) {
+	s := tuneSmall(t)
+	accs := s.Accuracies()
+	if len(accs) != 5 || accs[0] != 1e1 || accs[4] != 1e9 {
+		t.Fatalf("Accuracies = %v", accs)
+	}
+	accs[0] = -1
+	if s.Accuracies()[0] != 1e1 {
+		t.Fatal("Accuracies exposes internal state")
+	}
+}
+
+func TestParallelSolverMatchesSerial(t *testing.T) {
+	serial := tuneSmall(t)
+	path := filepath.Join(t.TempDir(), "cfg.json")
+	if err := serial.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	par, err := Load(path, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer par.Close()
+	p := NewProblem(33, Unbiased, 6)
+	xs, xp := p.NewState(), p.NewState()
+	if err := serial.Solve(xs, p.B, 1e5); err != nil {
+		t.Fatal(err)
+	}
+	if err := par.Solve(xp, p.B, 1e5); err != nil {
+		t.Fatal(err)
+	}
+	for i := range xs.Data() {
+		if xs.Data()[i] != xp.Data()[i] {
+			t.Fatal("parallel solver result differs from serial")
+		}
+	}
+}
+
+func TestSolveAdaptive(t *testing.T) {
+	s := tuneSmall(t)
+	p := NewProblem(33, Unbiased, 17)
+	Reference(p)
+	x := p.NewState()
+	iters, reduction, err := s.SolveAdaptive(x, p.B, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reduction < 1e6 || iters == 0 {
+		t.Fatalf("adaptive solve: iters=%d reduction=%.3g", iters, reduction)
+	}
+	if acc := p.AccuracyOf(x); acc < 1e4 {
+		t.Fatalf("adaptive solve accuracy %.3g", acc)
+	}
+	if _, _, err := s.SolveAdaptive(x, p.B, 0.5); err == nil {
+		t.Fatal("reduction < 1 accepted")
+	}
+	bad := NewGrid(10)
+	if _, _, err := s.SolveAdaptive(bad, bad, 10); err == nil {
+		t.Fatal("bad grid accepted")
+	}
+}
