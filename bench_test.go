@@ -383,6 +383,46 @@ func BenchmarkExperimentPipeline(b *testing.B) {
 	}
 }
 
+// --- serving path: one tuned solver, many concurrent clients -------------
+
+// BenchmarkSolveConcurrent measures multi-client throughput on one shared
+// tuned solver, the serving configuration behind SolveBatch and Service:
+// tuned tables, direct-factor cache, and scratch arena are shared while
+// clients solve independent requests. Kernels run serially (pool nil) so
+// scaling comes purely from solve-level concurrency; on a machine with ≥4
+// CPUs the 4-client case should show ≥2× the single-client throughput.
+func BenchmarkSolveConcurrent(b *testing.B) {
+	benchInit(b)
+	p := benchProblem(b, benchLevel, grid.Unbiased)
+	target := benchState.tuned.V.Acc[len(benchState.tuned.V.Acc)-1] // 1e9
+	for _, clients := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("clients-%d", clients), func(b *testing.B) {
+			s := newSolver(benchState.tuned, nil)
+			// Warm the factor cache so the timed region is steady-state serving.
+			warm := p.NewState()
+			if err := s.Solve(warm, p.B, target); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					for i := c; i < b.N; i += clients {
+						x := p.NewState()
+						if err := s.Solve(x, p.B, target); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(c)
+			}
+			wg.Wait()
+		})
+	}
+}
+
 // --- kernel microbenchmarks (the substrate everything rests on) ----------
 
 func BenchmarkKernels(b *testing.B) {

@@ -28,6 +28,7 @@ func TestCLIRoundTrip(t *testing.T) {
 	}
 	mgtune := build("mgtune")
 	mgsolve := build("mgsolve")
+	mgserve := build("mgserve")
 
 	cfg := filepath.Join(dir, "tuned.json")
 	out, err := exec.Command(mgtune,
@@ -59,5 +60,19 @@ func TestCLIRoundTrip(t *testing.T) {
 	// Oversized request must fail cleanly.
 	if out, err := exec.Command(mgsolve, "-config", cfg, "-size", "65", "-workers", "1").CombinedOutput(); err == nil {
 		t.Fatalf("mgsolve accepted a grid beyond the tuned size:\n%s", out)
+	}
+
+	// Serve the same tuned configuration to concurrent clients.
+	out, err = exec.Command(mgserve,
+		"-config", cfg, "-size", "33", "-acc", "1e5", "-workers", "1",
+		"-clients", "4", "-requests", "40").CombinedOutput()
+	if err != nil {
+		t.Fatalf("mgserve: %v\n%s", err, out)
+	}
+	text = string(out)
+	for _, want := range []string{"solves/sec", "latency p50", "spot-check accuracy"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("mgserve output missing %q:\n%s", want, text)
+		}
 	}
 }

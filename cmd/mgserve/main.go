@@ -1,0 +1,171 @@
+// Command mgserve demonstrates the tune-once/serve-many model at sustained
+// load: it loads a tuned configuration produced by mgtune (or tunes one
+// in-process), then drives M concurrent clients issuing Poisson solve
+// requests against one shared solver and reports throughput and latency
+// percentiles. All clients share one set of tuned tables, one worker pool,
+// and one direct-factor cache; the admission limit bounds how many solves
+// are in flight at once.
+//
+// Usage:
+//
+//	mgserve -config tuned.json -size 257 -acc 1e7 -clients 8 -requests 400
+//	mgserve -size 129 -machine intel-harpertown -clients 16 -duration 5s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"pbmg"
+)
+
+func main() {
+	config := flag.String("config", "", "tuned configuration from mgtune (empty: tune in-process)")
+	machine := flag.String("machine", "intel-harpertown", "cost model for in-process tuning when -config is empty")
+	size := flag.Int("size", 129, "request grid side (2^k+1, within the tuned range)")
+	acc := flag.Float64("acc", 1e7, "request accuracy level")
+	clients := flag.Int("clients", 8, "concurrent client goroutines")
+	requests := flag.Int("requests", 0, "total requests to serve (0: run for -duration)")
+	duration := flag.Duration("duration", 5*time.Second, "serving time when -requests is 0")
+	workers := flag.Int("workers", runtime.NumCPU(), "kernel worker threads shared by all solves")
+	inflight := flag.Int("inflight", 0, "max in-flight solves (0: 2×GOMAXPROCS)")
+	dist := flag.String("dist", "unbiased", "request data distribution: unbiased, biased, or point-sources")
+	seed := flag.Int64("seed", 42, "request problem seed")
+	flag.Parse()
+
+	d, err := parseDist(*dist)
+	if err != nil {
+		fatal(err)
+	}
+
+	solver, err := loadOrTune(*config, *machine, *size, *workers)
+	if err != nil {
+		fatal(err)
+	}
+	defer solver.Close()
+	if *size > solver.MaxSize() {
+		fatal(fmt.Errorf("size %d exceeds tuned maximum %d", *size, solver.MaxSize()))
+	}
+
+	svc := solver.NewService(*inflight)
+	fmt.Printf("serving N=%d at accuracy %.2g: %d clients, %d kernel workers, ≤%d in flight\n",
+		*size, *acc, *clients, *workers, svc.MaxInFlight())
+
+	// Each client pre-draws a small rotation of problems so request setup
+	// (RNG fills) stays off the measured path, then re-solves them from
+	// fresh states — the shape of a server handling recurring workloads.
+	const rotation = 4
+	type clientStats struct {
+		latencies []time.Duration
+		err       error
+	}
+	stats := make([]clientStats, *clients)
+	// counts[c] is client c's share of -requests (summing exactly to the
+	// total), or -1 to run until the deadline.
+	counts := make([]int, *clients)
+	for c := range counts {
+		if *requests > 0 {
+			counts[c] = *requests / *clients
+			if c < *requests%*clients {
+				counts[c]++
+			}
+		} else {
+			counts[c] = -1
+		}
+	}
+	deadline := time.Now().Add(*duration)
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			probs := make([]*pbmg.Problem, rotation)
+			for i := range probs {
+				probs[i] = pbmg.NewProblem(*size, d, *seed+int64(c*rotation+i))
+			}
+			for i := 0; counts[c] < 0 || i < counts[c]; i++ {
+				if counts[c] < 0 && time.Now().After(deadline) {
+					return
+				}
+				p := probs[i%rotation]
+				x := p.NewState()
+				t0 := time.Now()
+				if err := svc.Solve(x, p.B, *acc); err != nil {
+					stats[c].err = err
+					return
+				}
+				stats[c].latencies = append(stats[c].latencies, time.Since(t0))
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	for c := range stats {
+		if stats[c].err != nil {
+			fatal(stats[c].err)
+		}
+		all = append(all, stats[c].latencies...)
+	}
+	if len(all) == 0 {
+		fatal(fmt.Errorf("no requests completed"))
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+
+	fmt.Printf("served %d solves in %v: %.1f solves/sec\n",
+		len(all), elapsed.Round(time.Millisecond), float64(len(all))/elapsed.Seconds())
+	fmt.Printf("latency p50 %v  p90 %v  p99 %v  max %v\n",
+		percentile(all, 0.50), percentile(all, 0.90), percentile(all, 0.99), all[len(all)-1])
+
+	// Spot-check: re-solve one request with a reference solution attached so
+	// the report carries an achieved-accuracy figure, not just timings.
+	p := pbmg.NewProblem(*size, d, *seed)
+	pbmg.Reference(p)
+	x := p.NewState()
+	if err := svc.Solve(x, p.B, *acc); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("spot-check accuracy: requested %.2g, achieved %.4g\n", *acc, p.AccuracyOf(x))
+}
+
+// loadOrTune loads a saved configuration, or tunes one in-process for the
+// requested size on a deterministic simulated machine.
+func loadOrTune(config, machine string, size, workers int) (*pbmg.Solver, error) {
+	if config != "" {
+		return pbmg.Load(config, workers)
+	}
+	fmt.Fprintf(os.Stderr, "mgserve: no -config, tuning in-process for N=%d on %s\n", size, machine)
+	return pbmg.Tune(pbmg.Options{MaxSize: size, Machine: machine, Workers: workers})
+}
+
+// percentile returns the q-quantile of sorted latencies.
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func parseDist(s string) (pbmg.Distribution, error) {
+	switch s {
+	case "unbiased":
+		return pbmg.Unbiased, nil
+	case "biased":
+		return pbmg.Biased, nil
+	case "point-sources":
+		return pbmg.PointSources, nil
+	default:
+		return 0, fmt.Errorf("unknown distribution %q", s)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mgserve:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module pbmg
+
+go 1.24

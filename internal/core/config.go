@@ -12,6 +12,9 @@ import (
 // Tuned bundles the output of a tuning run with its provenance, mirroring
 // the configuration files the PetaBricks autotuner writes after dynamic
 // tuning so that subsequent runs can reuse the choices (§3.2.1).
+//
+// A Tuned bundle is immutable once tuning or Load completes: executors only
+// read the tables, so one bundle may back any number of concurrent solves.
 type Tuned struct {
 	// Machine names the Coster the tables were tuned for.
 	Machine string `json:"machine"`

@@ -230,15 +230,36 @@ func TestCacheReusesSolvers(t *testing.T) {
 
 func TestCacheConcurrent(t *testing.T) {
 	var c Cache
-	done := make(chan *PoissonSolver, 8)
-	for i := 0; i < 8; i++ {
-		go func() { done <- c.Get(9) }()
+	sizes := []int{9, 17, 33}
+	type got struct {
+		n int
+		s *PoissonSolver
 	}
-	first := <-done
-	for i := 1; i < 8; i++ {
-		if s := <-done; s != first {
-			t.Fatal("concurrent Get returned distinct solvers")
+	const per = 8
+	done := make(chan got, per*len(sizes))
+	for i := 0; i < per; i++ {
+		for _, n := range sizes {
+			go func(n int) {
+				// Interleave instrumentation reads with factorizations.
+				c.Sizes()
+				done <- got{n, c.Get(n)}
+			}(n)
 		}
+	}
+	first := map[int]*PoissonSolver{}
+	for i := 0; i < per*len(sizes); i++ {
+		g := <-done
+		if f, ok := first[g.n]; !ok {
+			first[g.n] = g.s
+		} else if f != g.s {
+			t.Fatalf("concurrent Get(%d) returned distinct solvers", g.n)
+		}
+		if g.s.N() != g.n {
+			t.Fatalf("Get(%d) returned solver for N=%d", g.n, g.s.N())
+		}
+	}
+	if len(c.Sizes()) != len(sizes) {
+		t.Fatalf("Sizes() = %v, want %d completed entries", c.Sizes(), len(sizes))
 	}
 }
 

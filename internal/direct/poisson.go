@@ -3,6 +3,7 @@ package direct
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"pbmg/internal/grid"
 )
@@ -11,6 +12,9 @@ import (
 // discrete Poisson problem T·x = b on an N×N grid with Dirichlet boundary
 // values taken from x. The factorization is computed once per grid size and
 // reused across solves, as a tuned algorithm would reuse a precomputed plan.
+// After construction a PoissonSolver is immutable: Solve reads the factored
+// bands and writes only its arguments, so one solver may serve concurrent
+// solves on distinct grids.
 type PoissonSolver struct {
 	n int // grid side
 	m int // interior side n−2
@@ -97,34 +101,62 @@ func (s *PoissonSolver) SolveFlops() float64 { return s.a.SolveFlops() }
 // Cache memoizes PoissonSolvers by grid size so that repeated solves at a
 // level amortize the O(N⁴) factorization, mirroring how the tuned algorithm
 // reuses the direct method at a fixed cutoff level. Cache is safe for
-// concurrent use; the zero value is ready to use.
+// concurrent use with factor-once semantics: concurrent Gets for one size
+// produce exactly one factorization, and an in-flight factorization blocks
+// only callers of that size, never Gets for sizes already cached. A
+// PoissonSolver is immutable after factoring (Solve touches only its
+// arguments), so the returned solver may be used from any goroutine.
+// The zero value is ready to use.
 type Cache struct {
-	mu      sync.Mutex
-	solvers map[int]*PoissonSolver
+	mu      sync.Mutex // guards the index only, never a factorization
+	entries map[int]*cacheEntry
 }
 
-// Get returns the cached solver for grid side n, creating it on first use.
+// cacheEntry is one per-size slot: mu serializes the factorization, done
+// publishes its completion to the lock-free fast path and to readers like
+// Sizes. A mutex rather than sync.Once so that a panicking factorization
+// (e.g. an invalid size) leaves the entry retryable instead of poisoned
+// with a nil solver.
+type cacheEntry struct {
+	mu   sync.Mutex
+	done atomic.Bool
+	s    *PoissonSolver
+}
+
+// Get returns the cached solver for grid side n, factoring it on first use.
 func (c *Cache) Get(n int) *PoissonSolver {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.solvers == nil {
-		c.solvers = make(map[int]*PoissonSolver)
+	if c.entries == nil {
+		c.entries = make(map[int]*cacheEntry)
 	}
-	s, ok := c.solvers[n]
+	e, ok := c.entries[n]
 	if !ok {
-		s = NewPoissonSolver(n)
-		c.solvers[n] = s
+		e = &cacheEntry{}
+		c.entries[n] = e
 	}
-	return s
+	c.mu.Unlock()
+	if e.done.Load() {
+		return e.s
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.done.Load() {
+		e.s = NewPoissonSolver(n) // a panic here propagates; done stays false
+		e.done.Store(true)
+	}
+	return e.s
 }
 
-// Sizes returns the grid sizes currently cached, for instrumentation.
+// Sizes returns the grid sizes whose factorizations have completed, for
+// instrumentation.
 func (c *Cache) Sizes() []int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	out := make([]int, 0, len(c.solvers))
-	for n := range c.solvers {
-		out = append(out, n)
+	out := make([]int, 0, len(c.entries))
+	for n, e := range c.entries {
+		if e.done.Load() {
+			out = append(out, n)
+		}
 	}
 	return out
 }

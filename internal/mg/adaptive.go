@@ -32,7 +32,9 @@ type AdaptiveResult struct {
 // AdaptiveSolver solves with runtime feedback. The residual norm is the
 // computable proxy for the paper's accuracy metric (the true error is
 // unavailable outside training), so targets are expressed as residual
-// reductions.
+// reductions. Like Executor, an AdaptiveSolver is a cheap per-solve value:
+// concurrent solves should each construct their own, sharing the
+// concurrency-safe Workspace and tables behind Ex.
 type AdaptiveSolver struct {
 	// Ex supplies the tuned tables and workspace.
 	Ex *Executor

@@ -393,16 +393,23 @@ func TestDescribeFull(t *testing.T) {
 	}
 }
 
-func TestWorkspaceBufferReuse(t *testing.T) {
+func TestWorkspaceArenaCheckout(t *testing.T) {
 	ws := NewWorkspace(nil)
-	b1 := ws.buf(17)
-	b2 := ws.buf(17)
-	if b1 != b2 {
-		t.Fatal("workspace did not reuse buffers")
+	// Overlapping checkouts (as in concurrent solves) must yield distinct
+	// scratch sets; sizes must match the level geometry.
+	b1 := ws.checkout(17)
+	b2 := ws.checkout(17)
+	if b1 == b2 {
+		t.Fatal("overlapping checkouts shared a scratch set")
 	}
 	if b1.cb.N() != 9 {
 		t.Fatalf("coarse buffer size = %d, want 9", b1.cb.N())
 	}
+	if b1.r.N() != 17 || b1.scratch.N() != 17 || b1.cx.N() != 9 {
+		t.Fatal("scratch set has wrong geometry")
+	}
+	ws.release(b1)
+	ws.release(b2)
 }
 
 func TestWorkspaceDirectCaching(t *testing.T) {

@@ -52,7 +52,8 @@ func (ws *Workspace) RefFullMG(x, b *grid.Grid, rec Recorder) {
 	}
 	h := 1.0 / float64(n-1)
 	lvl := grid.Level(n)
-	bufs := ws.buf(n)
+	bufs := ws.checkout(n)
+	defer ws.release(bufs)
 
 	stencil.Residual(ws.Pool, bufs.r, x, b, h)
 	record(rec, EvResidual, lvl, 1)

@@ -12,6 +12,11 @@ import (
 // set for SolveV; both V and F must be set for SolveFull (the full-multigrid
 // solve phase reuses tuned RECURSE steps from the V table, as in §2.4).
 // Rec, if non-nil, receives every operation event.
+//
+// An Executor is a cheap value: constructing one per solve costs nothing
+// beyond the struct itself, and concurrent solves against a shared
+// Workspace should each use their own Executor so Rec stays private. The
+// tables (V, F) and the Workspace may be shared freely across goroutines.
 type Executor struct {
 	WS  *Workspace
 	V   *VTable
@@ -104,7 +109,8 @@ func (e *Executor) Estimate(x, b *grid.Grid, estAcc int) {
 	n := x.N()
 	h := 1.0 / float64(n-1)
 	lvl := grid.Level(n)
-	bufs := e.WS.buf(n)
+	bufs := e.WS.checkout(n)
+	defer e.WS.release(bufs)
 
 	stencil.Residual(e.WS.Pool, bufs.r, x, b, h)
 	record(e.Rec, EvResidual, lvl, 1)

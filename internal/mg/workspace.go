@@ -2,6 +2,7 @@ package mg
 
 import (
 	"fmt"
+	"sync"
 
 	"pbmg/internal/direct"
 	"pbmg/internal/grid"
@@ -10,13 +11,22 @@ import (
 	"pbmg/internal/transfer"
 )
 
-// Workspace owns the scratch grids, direct-solver plans, and worker pool
-// shared by multigrid executions. Reusing one Workspace across many solves
-// keeps inner loops allocation-free.
+// Workspace holds the configuration and shared resources behind multigrid
+// executions: the worker pool, the smoother choice, the direct-solver flags,
+// and the caches those imply. All per-solve scratch state (the residual and
+// transfer grids a cycle needs at each level) is checked out from a
+// sync.Pool-backed arena for exactly the duration of the cycle step that
+// needs it, so a single Workspace is safe for concurrent solves: any number
+// of goroutines may run cycles against it simultaneously, sharing one set
+// of tuned tables, one worker pool, and one direct-factor cache.
 //
-// A Workspace is not safe for concurrent solves; create one per goroutine.
+// The configuration fields (Pool, Smoother, CacheDirectFactor) must be set
+// before the workspace is shared across goroutines; solves treat them as
+// read-only.
 type Workspace struct {
 	// Pool parallelizes the stencil and transfer kernels. Nil runs serially.
+	// A non-nil pool may be shared with other workspaces and with concurrent
+	// solves; sched.Pool supports concurrent callers.
 	Pool *sched.Pool
 	// Smoother selects the in-cycle relaxation kernel. The paper fixes
 	// red-black SOR with ω=1.15 after finding it beat weighted Jacobi on
@@ -25,44 +35,61 @@ type Workspace struct {
 	// CacheDirectFactor controls whether band-Cholesky factorizations are
 	// reused across direct-solve calls. The default (false) re-factors on
 	// every call, matching the cost profile of LAPACK's DPBSV that the
-	// paper's direct choice pays; enable it for reference-solution
-	// computation where only the answer matters.
+	// paper's direct choice pays; enable it for production serving and
+	// reference-solution computation where only the answer matters.
 	CacheDirectFactor bool
 
-	cache direct.Cache
-	bufs  map[int]*levelBufs
+	cache direct.Cache // factor-once band-Cholesky cache; concurrency-safe
+	arena sync.Map     // grid size -> *sync.Pool of *levelBufs
 }
 
-// levelBufs holds the scratch grids a cycle needs at one grid size n:
-// the residual and interpolation scratch at size n, and the coarse
-// right-hand side and coarse solution at size (n+1)/2.
+// levelBufs is the scratch set a cycle needs at one grid size n: the
+// residual and interpolation scratch at size n, and the coarse right-hand
+// side and coarse solution at size (n+1)/2. A levelBufs belongs to exactly
+// one cycle step at a time; concurrent solves check out distinct sets.
 type levelBufs struct {
+	n          int
 	r, scratch *grid.Grid
 	cb, cx     *grid.Grid
 }
 
-// NewWorkspace returns a workspace using the given pool (nil for serial).
-func NewWorkspace(pool *sched.Pool) *Workspace {
-	return &Workspace{Pool: pool, bufs: make(map[int]*levelBufs)}
+func newLevelBufs(n int) *levelBufs {
+	nc := grid.Coarsen(n)
+	return &levelBufs{
+		n:       n,
+		r:       grid.New(n),
+		scratch: grid.New(n),
+		cb:      grid.New(nc),
+		cx:      grid.New(nc),
+	}
 }
 
-// buf returns (allocating on first use) the scratch set for grid size n ≥ 5.
-func (ws *Workspace) buf(n int) *levelBufs {
-	b, ok := ws.bufs[n]
+// NewWorkspace returns a workspace using the given pool (nil for serial).
+// The zero value is also usable (serial, SOR smoother, no factor cache).
+func NewWorkspace(pool *sched.Pool) *Workspace {
+	return &Workspace{Pool: pool}
+}
+
+// checkout returns a scratch set for grid size n ≥ 5 from the arena,
+// allocating only when every set for that size is already in use. Callers
+// must return it with release; steady-state solves are allocation-free,
+// and the total number of live sets is bounded by the number of concurrent
+// cycle steps per size, not by the number of solves ever run.
+func (ws *Workspace) checkout(n int) *levelBufs {
+	pi, ok := ws.arena.Load(n)
 	if !ok {
 		if grid.Level(n) < 2 {
 			panic(fmt.Sprintf("mg: no scratch buffers for size %d", n))
 		}
-		nc := grid.Coarsen(n)
-		b = &levelBufs{
-			r:       grid.New(n),
-			scratch: grid.New(n),
-			cb:      grid.New(nc),
-			cx:      grid.New(nc),
-		}
-		ws.bufs[n] = b
+		pi, _ = ws.arena.LoadOrStore(n, &sync.Pool{New: func() any { return newLevelBufs(n) }})
 	}
-	return b
+	return pi.(*sync.Pool).Get().(*levelBufs)
+}
+
+// release returns a checked-out scratch set to the arena.
+func (ws *Workspace) release(b *levelBufs) {
+	pi, _ := ws.arena.Load(b.n)
+	pi.(*sync.Pool).Put(b)
 }
 
 // SolveDirect overwrites x's interior with the exact solution of T·x = b via
@@ -119,13 +146,13 @@ func (s Smoother) String() string {
 const jacobiWeight = 2.0 / 3.0
 
 // smooth runs sweeps of the configured smoother and records them as
-// relaxations.
-func (ws *Workspace) smooth(x, b *grid.Grid, sweeps int, rec Recorder) {
+// relaxations. tmp is a caller-provided scratch grid of x's size; the SOR
+// smoother updates in place and ignores it.
+func (ws *Workspace) smooth(x, b, tmp *grid.Grid, sweeps int, rec Recorder) {
 	n := x.N()
 	h := 1.0 / float64(n-1)
 	switch ws.Smoother {
 	case SmootherJacobi:
-		tmp := ws.buf(n).scratch
 		for s := 0; s < sweeps; s++ {
 			stencil.JacobiSweep(ws.Pool, tmp, x, b, h, jacobiWeight)
 			x.CopyFrom(tmp)
@@ -150,9 +177,10 @@ func (ws *Workspace) RecurseWith(x, b *grid.Grid, rec Recorder, coarseSolve func
 	}
 	h := 1.0 / float64(n-1)
 	lvl := grid.Level(n)
-	bufs := ws.buf(n)
+	bufs := ws.checkout(n)
+	defer ws.release(bufs)
 
-	ws.smooth(x, b, 1, rec)
+	ws.smooth(x, b, bufs.scratch, 1, rec)
 	stencil.Residual(ws.Pool, bufs.r, x, b, h)
 	record(rec, EvResidual, lvl, 1)
 	transfer.Restrict(ws.Pool, bufs.cb, bufs.r)
@@ -161,5 +189,5 @@ func (ws *Workspace) RecurseWith(x, b *grid.Grid, rec Recorder, coarseSolve func
 	coarseSolve(bufs.cx, bufs.cb)
 	transfer.InterpolateAdd(ws.Pool, x, bufs.cx, bufs.scratch)
 	record(rec, EvInterp, lvl, 1)
-	ws.smooth(x, b, 1, rec)
+	ws.smooth(x, b, bufs.scratch, 1, rec)
 }

@@ -11,6 +11,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // task is one schedulable unit. Tasks belong to a region (a ParallelFor or
@@ -32,6 +33,14 @@ func (r *region) done() bool { return r.remaining.Load() == 0 }
 // A Pool with one worker runs everything inline on the calling goroutine,
 // which keeps single-threaded measurements free of scheduling noise.
 // Pools must be released with Close; the zero value is not usable.
+//
+// A Pool is safe for concurrent use: any number of goroutines may call Do
+// and ParallelFor simultaneously (including from inside pool tasks — nested
+// regions help rather than block). Each call joins only its own region;
+// tasks from concurrent regions share the deques and are executed by
+// whichever worker or helping caller dequeues them first. Only Close must
+// be serialized: it must not run concurrently with Do, ParallelFor, or
+// another first Close.
 type Pool struct {
 	deques  []*deque
 	mu      sync.Mutex
@@ -170,6 +179,13 @@ func (p *Pool) submit(t *task) {
 // help runs tasks on the calling goroutine until the region completes.
 // Helping (rather than blocking) makes nested parallel regions deadlock-free
 // and puts the caller's CPU to work, as in Cilk's fully-strict joins.
+//
+// Helping invariant: a helper may execute ANY queued task, not just its own
+// region's — each task decrements only its own region's remaining-counter,
+// so executing a stranger's task can delay this join but never corrupt it,
+// and the region completes exactly when its last task finishes, wherever it
+// ran. This is what lets one Pool serve concurrent Do/ParallelFor callers:
+// their helpers drain a common set of deques without coordination.
 func (p *Pool) help(r *region, rng *rand.Rand) {
 	backoff := 0
 	for !r.done() {
@@ -182,8 +198,11 @@ func (p *Pool) help(r *region, rng *rand.Rand) {
 		if backoff < 64 {
 			runtime.Gosched()
 		} else {
-			// The remaining tasks are running on workers; yield harder.
-			runtime.Gosched()
+			// Nothing stealable for 64 consecutive attempts: the region's
+			// remaining tasks are already running on workers, so park briefly
+			// instead of burning this CPU on Gosched spins. The sleep is kept
+			// short to bound added join latency.
+			time.Sleep(20 * time.Microsecond)
 		}
 	}
 	if v := r.panicked.Load(); v != nil {

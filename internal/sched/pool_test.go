@@ -1,7 +1,9 @@
 package sched
 
 import (
+	"fmt"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
@@ -225,5 +227,83 @@ func TestParallelForSumProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestConcurrentCallersShareOnePool exercises the serving-path invariant:
+// many goroutines issue Do and ParallelFor regions against one pool at
+// once, including nested regions, and every region must join with exactly
+// its own work completed.
+func TestConcurrentCallersShareOnePool(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	const callers = 16
+	const rounds = 20
+	var wg sync.WaitGroup
+	errs := make(chan string, callers)
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for round := 0; round < rounds; round++ {
+				n := 64 + c + round
+				var sum atomic.Int64
+				p.ParallelFor(0, n, 7, func(lo, hi int) {
+					local := int64(0)
+					for i := lo; i < hi; i++ {
+						local += int64(i)
+					}
+					// A nested region from inside a task must help, not block.
+					if lo == 0 {
+						p.Do(func() {}, func() {})
+					}
+					sum.Add(local)
+				})
+				if want := int64(n*(n-1)) / 2; sum.Load() != want {
+					errs <- fmt.Sprintf("caller %d round %d: sum %d, want %d", c, round, sum.Load(), want)
+					return
+				}
+				var a, b int64
+				p.Do(func() { a = 1 }, func() { b = 2 })
+				if a != 1 || b != 2 {
+					errs <- fmt.Sprintf("caller %d round %d: Do dropped a function", c, round)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
+
+// TestConcurrentPanicsStayWithinRegion checks a panic in one caller's region
+// is re-raised on that caller only, while other callers' regions complete.
+func TestConcurrentPanicsStayWithinRegion(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var wg sync.WaitGroup
+	var clean atomic.Int64
+	panicked := make(chan bool, 1)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		defer func() { panicked <- recover() != nil }()
+		p.Do(func() {}, func() { panic("boom") })
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			p.ParallelFor(0, 100, 9, func(lo, hi int) { clean.Add(int64(hi - lo)) })
+		}
+	}()
+	wg.Wait()
+	if !<-panicked {
+		t.Fatal("panicking region did not re-raise on its caller")
+	}
+	if clean.Load() != 5000 {
+		t.Fatalf("clean caller covered %d iterations, want 5000", clean.Load())
 	}
 }

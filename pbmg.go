@@ -16,6 +16,12 @@
 // Tuned configurations serialize to JSON (Solver.Save / Load) so a machine
 // is tuned once and the result reused, exactly like PetaBricks
 // configuration files.
+//
+// A Solver is safe for concurrent use: the tuned tables are immutable, the
+// worker pool supports concurrent callers, and all per-solve scratch state
+// is checked out from an internal arena. One tuned Solver can therefore
+// serve many simultaneous solves — see SolveBatch for fanning a fixed set
+// of problems, and Service for bounding in-flight solves in a server.
 package pbmg
 
 import (
@@ -88,7 +94,12 @@ type Options struct {
 }
 
 // Solver is a tuned multigrid solver. Create with Tune or Load; release
-// with Close. A Solver is not safe for concurrent use.
+// with Close.
+//
+// A Solver is safe for concurrent use: any number of goroutines may call
+// Solve, SolveV, SolveAdaptive, SolveBatch, CycleShape, and Describe
+// simultaneously on one Solver, sharing its tuned tables, worker pool, and
+// direct-factor cache. Close must not be called while solves are in flight.
 type Solver struct {
 	tuned *core.Tuned
 	ws    *mg.Workspace
@@ -222,7 +233,9 @@ func (s *Solver) solve(x, b *Grid, accuracy float64, full bool, rec mg.Recorder)
 	if err != nil {
 		return err
 	}
-	ex := &mg.Executor{WS: s.ws, V: s.tuned.V, F: s.tuned.F, Rec: rec}
+	// One executor per solve keeps the recorder private to this call; the
+	// workspace and tables behind it are shared and concurrency-safe.
+	ex := mg.Executor{WS: s.ws, V: s.tuned.V, F: s.tuned.F, Rec: rec}
 	if full {
 		if s.tuned.F == nil {
 			return fmt.Errorf("pbmg: solver has no tuned full-multigrid table")
@@ -290,7 +303,7 @@ func (s *Solver) SolveAdaptive(x, b *Grid, residualReduction float64) (iters int
 	if residualReduction < 1 {
 		return 0, 0, fmt.Errorf("pbmg: residual reduction %g must be ≥ 1", residualReduction)
 	}
-	a := mg.AdaptiveSolver{Ex: &mg.Executor{WS: s.ws, V: s.tuned.V}}
+	a := mg.AdaptiveSolver{Ex: &mg.Executor{WS: s.ws, V: s.tuned.V}} // per-call executor: concurrency-safe
 	res := a.Solve(x, b, residualReduction, 0)
 	return res.Iters, res.Reduction, nil
 }

@@ -1,0 +1,112 @@
+package pbmg
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the serving front end over a tuned Solver: SolveBatch fans a
+// fixed set of independent problems across the shared worker pool, and
+// Service admits a stream of solve requests with a bound on how many run at
+// once. Both lean on the tune-once/serve-many model of the paper (§3.2.1):
+// the expensive tuned configuration and its caches are built once and then
+// amortized over every request.
+
+// BatchProblem pairs one solve's state grid (Dirichlet boundary and initial
+// guess, solved in place) with its right-hand side.
+type BatchProblem struct {
+	X, B *Grid
+}
+
+// SolveBatch solves every problem with the tuned FULL-MULTIGRID algorithm
+// for the smallest tuned target ≥ accuracy, running the solves concurrently
+// on the shared solver. In-flight solves are bounded (by 2×GOMAXPROCS) so
+// arbitrarily large batches hold only a bounded set of scratch workspaces.
+// Each problem's X is solved in place. The returned error joins the
+// failures of all problems that were rejected (others still complete);
+// a nil return means every problem met its target.
+func (s *Solver) SolveBatch(problems []BatchProblem, accuracy float64) error {
+	return s.NewService(0).SolveBatch(problems, accuracy)
+}
+
+// Service wraps a Solver with an admission limit for serving: at most
+// maxInFlight solves run concurrently, and further requests block until a
+// slot frees. A Service is safe for concurrent use and is cheap to create;
+// all services of one Solver share its tuned tables and caches.
+type Service struct {
+	s         *Solver
+	sem       chan struct{}
+	completed atomic.Int64
+}
+
+// NewService returns a serving front end admitting at most maxInFlight
+// concurrent solves (≤ 0 selects 2×GOMAXPROCS).
+func (s *Solver) NewService(maxInFlight int) *Service {
+	if maxInFlight <= 0 {
+		maxInFlight = 2 * runtime.GOMAXPROCS(0)
+	}
+	return &Service{s: s, sem: make(chan struct{}, maxInFlight)}
+}
+
+// MaxInFlight returns the admission limit.
+func (sv *Service) MaxInFlight() int { return cap(sv.sem) }
+
+// Completed returns the number of solves finished successfully so far.
+func (sv *Service) Completed() int64 { return sv.completed.Load() }
+
+// Solve admits one tuned FULL-MULTIGRID solve, blocking while maxInFlight
+// solves are already running. See Solver.Solve.
+func (sv *Service) Solve(x, b *Grid, accuracy float64) error {
+	return sv.admit(func() error { return sv.s.Solve(x, b, accuracy) })
+}
+
+// SolveV admits one tuned MULTIGRID-V solve. See Solver.SolveV.
+func (sv *Service) SolveV(x, b *Grid, accuracy float64) error {
+	return sv.admit(func() error { return sv.s.SolveV(x, b, accuracy) })
+}
+
+// SolveAdaptive admits one adaptive solve. See Solver.SolveAdaptive.
+func (sv *Service) SolveAdaptive(x, b *Grid, residualReduction float64) (int, float64, error) {
+	var iters int
+	var reduction float64
+	err := sv.admit(func() error {
+		var err error
+		iters, reduction, err = sv.s.SolveAdaptive(x, b, residualReduction)
+		return err
+	})
+	return iters, reduction, err
+}
+
+func (sv *Service) admit(solve func() error) error {
+	sv.sem <- struct{}{}
+	defer func() { <-sv.sem }()
+	err := solve()
+	if err == nil {
+		sv.completed.Add(1)
+	}
+	return err
+}
+
+// SolveBatch solves every problem concurrently through this service's
+// admission limit. See Solver.SolveBatch.
+func (sv *Service) SolveBatch(problems []BatchProblem, accuracy float64) error {
+	if len(problems) == 0 {
+		return nil
+	}
+	errs := make([]error, len(problems))
+	var wg sync.WaitGroup
+	for i, p := range problems {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := sv.Solve(p.X, p.B, accuracy); err != nil {
+				errs[i] = fmt.Errorf("pbmg: batch problem %d: %w", i, err)
+			}
+		}()
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
