@@ -397,7 +397,10 @@ func BenchmarkSolveConcurrent(b *testing.B) {
 	target := benchState.tuned.V.Acc[len(benchState.tuned.V.Acc)-1] // 1e9
 	for _, clients := range []int{1, 4, 8} {
 		b.Run(fmt.Sprintf("clients-%d", clients), func(b *testing.B) {
-			s := newSolver(benchState.tuned, nil)
+			s, err := newSolver(benchState.tuned, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
 			// Warm the factor cache so the timed region is steady-state serving.
 			warm := p.NewState()
 			if err := s.Solve(warm, p.B, target); err != nil {

@@ -70,9 +70,66 @@ func TestCLIRoundTrip(t *testing.T) {
 		t.Fatalf("mgserve: %v\n%s", err, out)
 	}
 	text = string(out)
-	for _, want := range []string{"solves/sec", "latency p50", "spot-check accuracy"} {
+	for _, want := range []string{"solves/sec", "latency p50", "spot-check accuracy", "family poisson"} {
 		if !strings.Contains(text, want) {
 			t.Fatalf("mgserve output missing %q:\n%s", want, text)
+		}
+	}
+
+	// --- operator families: tune an anisotropic configuration and solve it.
+	anisoCfg := filepath.Join(dir, "aniso.json")
+	out, err = exec.Command(mgtune,
+		"-size", "17", "-family", "aniso", "-epsilon", "0.25",
+		"-machine", "intel-harpertown", "-workers", "1",
+		"-o", anisoCfg, "-q").CombinedOutput()
+	if err != nil {
+		t.Fatalf("mgtune -family aniso: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "family aniso, eps 0.25") {
+		t.Fatalf("mgtune output missing family provenance: %s", out)
+	}
+
+	out, err = exec.Command(mgsolve,
+		"-config", anisoCfg, "-size", "17", "-acc", "1e5", "-workers", "1",
+		"-family", "aniso", "-epsilon", "0.25").CombinedOutput()
+	if err != nil {
+		t.Fatalf("mgsolve aniso: %v\n%s", err, out)
+	}
+	text = string(out)
+	for _, want := range []string{"family aniso", "eps 0.25", "achieved"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("mgsolve aniso output missing %q:\n%s", want, text)
+		}
+	}
+
+	// Bad-input error paths: each must exit non-zero with a telling message.
+	for _, tc := range []struct {
+		name    string
+		cmd     *exec.Cmd
+		wantErr string
+	}{
+		{"family mismatch",
+			exec.Command(mgsolve, "-config", anisoCfg, "-size", "17", "-family", "poisson"),
+			"tuned for family aniso"},
+		{"unknown family",
+			exec.Command(mgsolve, "-config", anisoCfg, "-size", "17", "-family", "helmholtz"),
+			"unknown operator family"},
+		{"epsilon mismatch",
+			exec.Command(mgsolve, "-config", anisoCfg, "-size", "17", "-family", "aniso", "-epsilon", "0.5"),
+			"tuned for eps 0.25"},
+		{"unknown family at tune time",
+			exec.Command(mgtune, "-size", "17", "-family", "bogus", "-machine", "intel-harpertown", "-q"),
+			"unknown operator family"},
+		{"negative epsilon at tune time",
+			exec.Command(mgtune, "-size", "17", "-family", "aniso", "-epsilon", "-1", "-machine", "intel-harpertown", "-q"),
+			"epsilon must be positive"},
+	} {
+		out, err := tc.cmd.CombinedOutput()
+		if err == nil {
+			t.Fatalf("%s: command succeeded, want failure:\n%s", tc.name, out)
+		}
+		if !strings.Contains(string(out), tc.wantErr) {
+			t.Fatalf("%s: error output missing %q:\n%s", tc.name, tc.wantErr, out)
 		}
 	}
 }

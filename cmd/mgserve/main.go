@@ -53,8 +53,8 @@ func main() {
 	}
 
 	svc := solver.NewService(*inflight)
-	fmt.Printf("serving N=%d at accuracy %.2g: %d clients, %d kernel workers, ≤%d in flight\n",
-		*size, *acc, *clients, *workers, svc.MaxInFlight())
+	fmt.Printf("serving N=%d at accuracy %.2g (family %s): %d clients, %d kernel workers, ≤%d in flight\n",
+		*size, *acc, solver.Family(), *clients, *workers, svc.MaxInFlight())
 
 	// Each client pre-draws a small rotation of problems so request setup
 	// (RNG fills) stays off the measured path, then re-solves them from
@@ -88,7 +88,12 @@ func main() {
 			defer wg.Done()
 			probs := make([]*pbmg.Problem, rotation)
 			for i := range probs {
-				probs[i] = pbmg.NewProblem(*size, d, *seed+int64(c*rotation+i))
+				p, err := solver.NewFamilyProblem(*size, d, *seed+int64(c*rotation+i))
+				if err != nil {
+					stats[c].err = err
+					return
+				}
+				probs[i] = p
 			}
 			for i := 0; counts[c] < 0 || i < counts[c]; i++ {
 				if counts[c] < 0 && time.Now().After(deadline) {
@@ -127,7 +132,10 @@ func main() {
 
 	// Spot-check: re-solve one request with a reference solution attached so
 	// the report carries an achieved-accuracy figure, not just timings.
-	p := pbmg.NewProblem(*size, d, *seed)
+	p, err := solver.NewFamilyProblem(*size, d, *seed)
+	if err != nil {
+		fatal(err)
+	}
 	pbmg.Reference(p)
 	x := p.NewState()
 	if err := svc.Solve(x, p.B, *acc); err != nil {

@@ -23,6 +23,8 @@ func main() {
 	config := flag.String("config", "tuned.json", "tuned configuration from mgtune")
 	size := flag.Int("size", 257, "grid side (2^k+1, within the tuned range)")
 	acc := flag.Float64("acc", 1e7, "required accuracy level")
+	family := flag.String("family", "", "operator family the problem is drawn from (poisson, aniso, varcoef); must match the tuned configuration. Empty uses the configuration's family")
+	epsilon := flag.Float64("epsilon", 0, "family parameter ε/σ; must match the tuned configuration. 0 uses the configuration's value")
 	dist := flag.String("dist", "unbiased", "test data distribution: unbiased, biased, or point-sources")
 	seed := flag.Int64("seed", 7, "test problem seed")
 	workers := flag.Int("workers", runtime.NumCPU(), "worker threads")
@@ -41,6 +43,26 @@ func main() {
 	}
 	defer solver.Close()
 
+	// The problem family must match the family the configuration was tuned
+	// for: tuned tables are family-specific, so a mismatch would silently
+	// solve the wrong operator.
+	if *family != "" {
+		f, err := pbmg.ParseFamily(*family)
+		if err != nil {
+			fatal(err)
+		}
+		if f != solver.Family() {
+			fatal(fmt.Errorf("configuration %s is tuned for family %s, not %s; re-tune with mgtune -family %s",
+				*config, solver.Family(), f, f))
+		}
+	}
+	// Poisson has no family parameter, so -epsilon is only checked for the
+	// parameterized families.
+	if *epsilon != 0 && solver.Family() != pbmg.FamilyPoisson && *epsilon != solver.Epsilon() {
+		fatal(fmt.Errorf("configuration %s is tuned for eps %g, not %g; re-tune with mgtune -family %s -epsilon %g",
+			*config, solver.Epsilon(), *epsilon, solver.Family(), *epsilon))
+	}
+
 	if *cycle {
 		shape, err := solver.CycleShape(*size, *acc, !*useV)
 		if err != nil {
@@ -58,7 +80,10 @@ func main() {
 		fmt.Print(desc)
 	}
 
-	p := pbmg.NewProblem(*size, d, *seed)
+	p, err := solver.NewFamilyProblem(*size, d, *seed)
+	if err != nil {
+		fatal(err)
+	}
 	x := p.NewState()
 	start := time.Now()
 	if *useV {
@@ -72,7 +97,8 @@ func main() {
 	}
 
 	pbmg.Reference(p)
-	fmt.Printf("solved N=%d (%s data) in %v\n", *size, d, elapsed)
+	fmt.Printf("solved N=%d (%s data, family %s, eps %g) in %v\n",
+		*size, d, solver.Family(), solver.Epsilon(), elapsed)
 	fmt.Printf("requested accuracy %.2g, achieved %.4g\n", *acc, p.AccuracyOf(x))
 }
 

@@ -19,6 +19,8 @@ import (
 
 func main() {
 	size := flag.Int("size", 257, "finest grid side (must be 2^k+1)")
+	family := flag.String("family", "poisson", "operator family: poisson, aniso, or varcoef")
+	epsilon := flag.Float64("epsilon", 0, "family parameter: anisotropy ε (aniso) or coefficient contrast σ (varcoef); 0 selects the family default")
 	dist := flag.String("dist", "unbiased", "training distribution: unbiased, biased, or point-sources")
 	machine := flag.String("machine", "", "simulated machine to tune for (intel-harpertown, amd-barcelona, sun-niagara); empty tunes the host by wall clock")
 	workers := flag.Int("workers", runtime.NumCPU(), "worker threads for parallel kernels")
@@ -31,8 +33,17 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	f, err := pbmg.ParseFamily(*family)
+	if err != nil {
+		fatal(err)
+	}
+	if *epsilon < 0 {
+		fatal(fmt.Errorf("epsilon must be positive, got %g", *epsilon))
+	}
 	opts := pbmg.Options{
 		MaxSize:      *size,
+		Family:       f,
+		Epsilon:      *epsilon,
 		Distribution: d,
 		Machine:      *machine,
 		Workers:      *workers,
@@ -51,8 +62,8 @@ func main() {
 	if err := solver.Save(*out); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("tuned for %s up to N=%d; configuration written to %s\n",
-		solver.Machine(), solver.MaxSize(), *out)
+	fmt.Printf("tuned for %s up to N=%d (family %s, eps %g); configuration written to %s\n",
+		solver.Machine(), solver.MaxSize(), solver.Family(), solver.Epsilon(), *out)
 }
 
 func parseDist(s string) (pbmg.Distribution, error) {

@@ -7,6 +7,7 @@ import (
 
 	"pbmg/internal/grid"
 	"pbmg/internal/mg"
+	"pbmg/internal/stencil"
 )
 
 // Tuned bundles the output of a tuning run with its provenance, mirroring
@@ -18,6 +19,12 @@ import (
 type Tuned struct {
 	// Machine names the Coster the tables were tuned for.
 	Machine string `json:"machine"`
+	// Family names the operator family the tables were tuned for (empty in
+	// configurations predating operator families, meaning "poisson").
+	Family string `json:"family,omitempty"`
+	// Eps is the operator family parameter (anisotropy ε or coefficient
+	// contrast σ; zero/absent for Poisson).
+	Eps float64 `json:"eps,omitempty"`
 	// Distribution is the training distribution name.
 	Distribution string `json:"distribution"`
 	// Seed reproduces the training data.
@@ -41,14 +48,39 @@ func (t *Tuner) Tune() (*Tuned, error) {
 	if err != nil {
 		return nil, err
 	}
+	eps := t.cfg.Eps
+	if t.cfg.Family == stencil.FamilyPoisson {
+		eps = 0
+	}
 	return &Tuned{
 		Machine:      t.cfg.Coster.Name(),
+		Family:       t.cfg.Family.String(),
+		Eps:          eps,
 		Distribution: t.cfg.Distribution.String(),
 		Seed:         t.cfg.Seed,
 		MaxLevel:     t.cfg.MaxLevel,
 		V:            vt,
 		F:            ft,
 	}, nil
+}
+
+// FamilyValue parses the stored family name (empty means Poisson for
+// configurations written before operator families existed).
+func (t *Tuned) FamilyValue() (stencil.Family, error) {
+	if t.Family == "" {
+		return stencil.FamilyPoisson, nil
+	}
+	return stencil.ParseFamily(t.Family)
+}
+
+// OperatorValue reconstructs the operator family the bundle was tuned for,
+// discretized at the finest tuned size.
+func (t *Tuned) OperatorValue() (*stencil.Operator, error) {
+	f, err := t.FamilyValue()
+	if err != nil {
+		return nil, err
+	}
+	return stencil.NewOperator(f, t.Eps, grid.SizeOfLevel(t.MaxLevel))
 }
 
 // DistributionValue parses the stored distribution name back into a
@@ -64,8 +96,18 @@ func (t *Tuned) DistributionValue() grid.Distribution {
 	}
 }
 
-// Validate checks both tables.
+// Validate checks the operator family and both tables. It validates the
+// family name and parameter without materializing the operator (for
+// variable-coefficient bundles that would build the full coefficient field,
+// which Load's caller does once anyway via OperatorValue).
 func (t *Tuned) Validate() error {
+	f, err := t.FamilyValue()
+	if err != nil {
+		return fmt.Errorf("core: tuned bundle operator invalid: %w", err)
+	}
+	if f != stencil.FamilyPoisson && !(t.Eps > 0) {
+		return fmt.Errorf("core: tuned bundle operator invalid: family %s needs a positive parameter, got %g", f, t.Eps)
+	}
 	if t.V == nil {
 		return fmt.Errorf("core: tuned bundle has no V table")
 	}

@@ -8,7 +8,6 @@ import (
 	"pbmg/internal/grid"
 	"pbmg/internal/mg"
 	"pbmg/internal/problem"
-	"pbmg/internal/stencil"
 )
 
 // TuneFull runs the dynamic program for the FULL-MULTIGRID family (§2.4) on
@@ -110,7 +109,7 @@ func (t *Tuner) tuneFullLevel(vt *mg.VTable, ft *mg.FTable, level int) []mg.Full
 // sorStep returns a one-sweep SOR step at the given level.
 func (t *Tuner) sorStep(level int) stepFunc {
 	n := grid.SizeOfLevel(level)
-	omega := stencil.OmegaOpt(n)
+	omega := t.ws.OmegaOpt(n)
 	return func(x, b *grid.Grid, rec mg.Recorder) { t.ws.SOR(x, b, omega, 1, rec) }
 }
 

@@ -43,6 +43,15 @@ type Config struct {
 	Accuracies []float64
 	// MaxLevel is the finest level to tune (grid side 2^MaxLevel + 1).
 	MaxLevel int
+	// Family selects the operator family to tune for (default
+	// stencil.FamilyPoisson). Each family is tuned independently: the dynamic
+	// program re-measures every candidate under the family's kernels, so the
+	// resulting tables are keyed by (family, ε) in the saved configuration.
+	Family stencil.Family
+	// Eps is the family parameter: the anisotropy ratio ε for
+	// FamilyAnisotropic or the coefficient contrast σ for FamilyVarCoef
+	// (zero selects the family default; ignored for Poisson).
+	Eps float64
 	// Distribution selects the training-data distribution (§4).
 	Distribution grid.Distribution
 	// TrainingInstances is the number of training problems per level.
@@ -71,11 +80,36 @@ type Config struct {
 	Logf func(format string, args ...any)
 }
 
+// Family defaults for the Eps parameter: a strong (10:1) anisotropy and a
+// moderate coefficient contrast of e⁴ ≈ 55.
+const (
+	DefaultAnisoEps     = 0.1
+	DefaultVarCoefSigma = 2.0
+)
+
+// ResolveEps maps the zero-value family parameter to the family default —
+// the single place the default lives, shared by the tuner and the public
+// problem constructors so both always agree on what "unset" means.
+func ResolveEps(f stencil.Family, eps float64) float64 {
+	if eps != 0 {
+		return eps
+	}
+	switch f {
+	case stencil.FamilyAnisotropic:
+		return DefaultAnisoEps
+	case stencil.FamilyVarCoef:
+		return DefaultVarCoefSigma
+	default:
+		return 0
+	}
+}
+
 // Defaults returns cfg with unset fields filled with the paper's settings.
 func (cfg Config) Defaults() Config {
 	if cfg.Accuracies == nil {
 		cfg.Accuracies = DefaultAccuracies()
 	}
+	cfg.Eps = ResolveEps(cfg.Family, cfg.Eps)
 	if cfg.TrainingInstances == 0 {
 		cfg.TrainingInstances = 3
 	}
@@ -113,7 +147,8 @@ func (cfg Config) validate() error {
 // use.
 type Tuner struct {
 	cfg   Config
-	ws    *mg.Workspace // measurement workspace (fresh direct factors)
+	op    *stencil.Operator // operator family at the finest tuned size
+	ws    *mg.Workspace     // measurement workspace (fresh direct factors)
 	probs map[int][]*problem.Problem
 	front map[int]*ParetoFront // per-level candidate fronts (diagnostics)
 }
@@ -124,15 +159,24 @@ func New(cfg Config) (*Tuner, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	op, err := stencil.NewOperator(cfg.Family, cfg.Eps, grid.SizeOfLevel(cfg.MaxLevel))
+	if err != nil {
+		return nil, err
+	}
 	ws := mg.NewWorkspace(cfg.Pool)
 	ws.Smoother = cfg.Smoother
+	ws.Op = op
 	return &Tuner{
 		cfg:   cfg,
+		op:    op,
 		ws:    ws,
 		probs: make(map[int][]*problem.Problem),
 		front: make(map[int]*ParetoFront),
 	}, nil
 }
+
+// Operator returns the operator family the tuner measures against.
+func (t *Tuner) Operator() *stencil.Operator { return t.op }
 
 // Front returns the Pareto front of all candidates measured at a level
 // (the full-DP view of §2.2), or nil if the level was not tuned.
@@ -154,7 +198,7 @@ func (t *Tuner) training(level int) []*problem.Problem {
 	ps := make([]*problem.Problem, t.cfg.TrainingInstances)
 	for i := range ps {
 		rng := rand.New(rand.NewSource(t.cfg.Seed + int64(level)*1009 + int64(i)))
-		ps[i] = problem.Random(n, t.cfg.Distribution, rng)
+		ps[i] = problem.RandomOp(n, t.cfg.Distribution, rng, t.op.At(n))
 		refsol.Attach(ps[i], t.cfg.Pool)
 	}
 	t.probs[level] = ps
@@ -281,7 +325,7 @@ func (t *Tuner) measureDirect(level int, probs []*problem.Problem) measured {
 // measureSOR prices the iterated-SOR choice at a level.
 func (t *Tuner) measureSOR(level int, probs []*problem.Problem) measured {
 	n := grid.SizeOfLevel(level)
-	omega := stencil.OmegaOpt(n)
+	omega := t.ws.OmegaOpt(n)
 	step := func(x, b *grid.Grid, rec mg.Recorder) { t.ws.SOR(x, b, omega, 1, rec) }
 	iters := t.countIters(probs, step, t.cfg.MaxSORIters)
 	tr1, d1 := t.timeOneIter(probs, step)

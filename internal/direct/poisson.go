@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"pbmg/internal/grid"
+	"pbmg/internal/stencil"
 )
 
 // PoissonSolver is a factored band-Cholesky solver for the interior of the
@@ -98,21 +99,31 @@ func (s *PoissonSolver) FactorFlops() float64 { return s.a.FactorFlops() }
 // SolveFlops reports the (estimated) cost of one Solve call.
 func (s *PoissonSolver) SolveFlops() float64 { return s.a.SolveFlops() }
 
-// Cache memoizes PoissonSolvers by grid size so that repeated solves at a
-// level amortize the O(N⁴) factorization, mirroring how the tuned algorithm
-// reuses the direct method at a fixed cutoff level. Cache is safe for
-// concurrent use with factor-once semantics: concurrent Gets for one size
-// produce exactly one factorization, and an in-flight factorization blocks
-// only callers of that size, never Gets for sizes already cached. A
-// PoissonSolver is immutable after factoring (Solve touches only its
-// arguments), so the returned solver may be used from any goroutine.
-// The zero value is ready to use.
+// Cache memoizes factored interior solvers by (operator, grid size) so that
+// repeated solves at a level amortize the O(N⁴) factorization, mirroring how
+// the tuned algorithm reuses the direct method at a fixed cutoff level.
+// Cache is safe for concurrent use with factor-once semantics: concurrent
+// Gets for one key produce exactly one factorization, and an in-flight
+// factorization blocks only callers of that key, never Gets for keys already
+// cached. A factored solver is immutable (Solve touches only its arguments),
+// so the returned solver may be used from any goroutine. The zero value is
+// ready to use.
 type Cache struct {
 	mu      sync.Mutex // guards the index only, never a factorization
-	entries map[int]*cacheEntry
+	entries map[cacheKey]*cacheEntry
 }
 
-// cacheEntry is one per-size slot: mu serializes the factorization, done
+// cacheKey identifies one factorization: the operator (nil for the
+// constant-coefficient Laplacian) and the grid side. Operators are compared
+// by identity — within one operator family hierarchy the operator for a
+// given size is a stable memoized pointer (see stencil.Operator.Coarse), so
+// identity is exactly the right granularity.
+type cacheKey struct {
+	op *stencil.Operator
+	n  int
+}
+
+// cacheEntry is one per-key slot: mu serializes the factorization, done
 // publishes its completion to the lock-free fast path and to readers like
 // Sizes. A mutex rather than sync.Once so that a panicking factorization
 // (e.g. an invalid size) leaves the entry retryable instead of poisoned
@@ -120,19 +131,31 @@ type Cache struct {
 type cacheEntry struct {
 	mu   sync.Mutex
 	done atomic.Bool
-	s    *PoissonSolver
+	s    InteriorSolver
 }
 
-// Get returns the cached solver for grid side n, factoring it on first use.
+// Get returns the cached constant-coefficient Poisson solver for grid side
+// n, factoring it on first use.
 func (c *Cache) Get(n int) *PoissonSolver {
+	return c.GetOp(nil, n).(*PoissonSolver)
+}
+
+// GetOp returns the cached solver for the operator at grid side n, factoring
+// it on first use. A nil operator (or the Poisson family) uses the
+// specialized constant-coefficient path.
+func (c *Cache) GetOp(op *stencil.Operator, n int) InteriorSolver {
+	if op != nil && op.Family() == stencil.FamilyPoisson {
+		op = nil // all Poisson operators share one factorization per size
+	}
+	key := cacheKey{op: op, n: n}
 	c.mu.Lock()
 	if c.entries == nil {
-		c.entries = make(map[int]*cacheEntry)
+		c.entries = make(map[cacheKey]*cacheEntry)
 	}
-	e, ok := c.entries[n]
+	e, ok := c.entries[key]
 	if !ok {
 		e = &cacheEntry{}
-		c.entries[n] = e
+		c.entries[key] = e
 	}
 	c.mu.Unlock()
 	if e.done.Load() {
@@ -141,21 +164,23 @@ func (c *Cache) Get(n int) *PoissonSolver {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if !e.done.Load() {
-		e.s = NewPoissonSolver(n) // a panic here propagates; done stays false
+		e.s = NewInteriorSolver(op, n) // a panic here propagates; done stays false
 		e.done.Store(true)
 	}
 	return e.s
 }
 
-// Sizes returns the grid sizes whose factorizations have completed, for
-// instrumentation.
+// Sizes returns the grid sizes whose factorizations have completed (from
+// any operator family), for instrumentation.
 func (c *Cache) Sizes() []int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	seen := make(map[int]bool)
 	out := make([]int, 0, len(c.entries))
-	for n, e := range c.entries {
-		if e.done.Load() {
-			out = append(out, n)
+	for k, e := range c.entries {
+		if e.done.Load() && !seen[k.n] {
+			seen[k.n] = true
+			out = append(out, k.n)
 		}
 	}
 	return out

@@ -1,0 +1,129 @@
+package direct
+
+import (
+	"fmt"
+
+	"pbmg/internal/grid"
+	"pbmg/internal/stencil"
+)
+
+// InteriorSolver is a factored direct solver for the interior of a 5-point
+// operator problem T·x = b with Dirichlet boundary values taken from x.
+// Both PoissonSolver (the specialized constant-coefficient path) and
+// StencilSolver (the general operator-family path) implement it; after
+// construction both are immutable and safe for concurrent Solve calls.
+type InteriorSolver interface {
+	N() int
+	Solve(x, b *grid.Grid, h float64)
+	FactorFlops() float64
+	SolveFlops() float64
+}
+
+// NewInteriorSolver factors the interior operator of op at grid side n,
+// routing the constant-coefficient Laplacian to the specialized
+// PoissonSolver and every other family through general band assembly.
+func NewInteriorSolver(op *stencil.Operator, n int) InteriorSolver {
+	if op == nil || op.Family() == stencil.FamilyPoisson {
+		return NewPoissonSolver(n)
+	}
+	return NewStencilSolver(op, n)
+}
+
+// StencilSolver is the band-Cholesky solver for a general 5-point operator
+// family: the interior matrix is assembled from the operator's face
+// coefficients (diagonal = coefficient sum, off-diagonals = −face
+// coefficient; the h² scaling is applied to the right-hand side at solve
+// time, matching PoissonSolver's convention). Anisotropic and
+// variable-coefficient operators with positive coefficients yield symmetric
+// positive-definite matrices, so the factorization cannot fail for valid
+// operators.
+type StencilSolver struct {
+	n  int // grid side
+	m  int // interior side n−2
+	op *stencil.Operator
+	a  *BandMatrix
+}
+
+// NewStencilSolver assembles and factors the interior operator of op at
+// grid side n ≥ 3. For variable-coefficient operators, op must be resolved
+// to size n (see Operator.At).
+func NewStencilSolver(op *stencil.Operator, n int) *StencilSolver {
+	if n < 3 {
+		panic(fmt.Sprintf("direct: grid side %d too small", n))
+	}
+	op = op.At(n)
+	m := n - 2
+	a := NewBandMatrix(m*m, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			cn, cs, cw, ce := op.FaceCoefs(i+1, j+1)
+			k := i*m + j
+			a.Set(k, k, cn+cs+cw+ce)
+			if j > 0 {
+				a.Set(k, k-1, -cw)
+			}
+			if i > 0 {
+				a.Set(k, k-m, -cn)
+			}
+		}
+	}
+	if err := a.Factor(); err != nil {
+		// Positive face coefficients make the matrix an SPD M-matrix by
+		// construction; failure here means an invalid operator slipped past
+		// the family constructors.
+		panic(fmt.Sprintf("direct: operator %v failed to factor: %v", op, err))
+	}
+	return &StencilSolver{n: n, m: m, op: op, a: a}
+}
+
+// N returns the grid side length the solver was built for.
+func (s *StencilSolver) N() int { return s.n }
+
+// Operator returns the operator the solver was assembled from.
+func (s *StencilSolver) Operator() *stencil.Operator { return s.op }
+
+// Solve overwrites the interior of x with the exact solution of T·x = b,
+// using x's boundary entries as Dirichlet data. h is the mesh spacing.
+func (s *StencilSolver) Solve(x, b *grid.Grid, h float64) {
+	if x.N() != s.n || b.N() != s.n {
+		panic(fmt.Sprintf("direct: Solve size mismatch: solver %d, x %d, b %d", s.n, x.N(), b.N()))
+	}
+	m := s.m
+	h2 := h * h
+	rhs := make([]float64, m*m)
+	for i := 0; i < m; i++ {
+		gi := i + 1
+		br := b.Row(gi)
+		for j := 0; j < m; j++ {
+			gj := j + 1
+			cn, cs, cw, ce := s.op.FaceCoefs(gi, gj)
+			v := h2 * br[gj]
+			// Move known boundary neighbours to the right-hand side with
+			// their stencil weights.
+			if i == 0 {
+				v += cn * x.At(0, gj)
+			}
+			if i == m-1 {
+				v += cs * x.At(s.n-1, gj)
+			}
+			if j == 0 {
+				v += cw * x.At(gi, 0)
+			}
+			if j == m-1 {
+				v += ce * x.At(gi, s.n-1)
+			}
+			rhs[i*m+j] = v
+		}
+	}
+	s.a.Solve(rhs)
+	for i := 0; i < m; i++ {
+		xr := x.Row(i + 1)
+		copy(xr[1:1+m], rhs[i*m:(i+1)*m])
+	}
+}
+
+// FactorFlops reports the (estimated) cost of the one-time factorization.
+func (s *StencilSolver) FactorFlops() float64 { return s.a.FactorFlops() }
+
+// SolveFlops reports the (estimated) cost of one Solve call.
+func (s *StencilSolver) SolveFlops() float64 { return s.a.SolveFlops() }

@@ -1,0 +1,19 @@
+// Package goldens holds the convergence-regression suite for the operator
+// families: for every (family, level, accuracy target) cell it records, in
+// testdata/goldens.json, the operation counts of the tuned FULL-MULTIGRID
+// solve and the accuracy it achieved on a fixed held-out problem, under the
+// deterministic trace-based cost model.
+//
+// The tests assert two things about the current code:
+//
+//  1. Correctness floor: the tuned solver still reaches every accuracy
+//     target on the held-out instance (achieved ≥ target, strictly).
+//  2. Work band: the operation counts stay within a tolerance band of the
+//     recorded goldens, so a change that silently doubles the smoothing work
+//     or collapses the tuned tables to "always direct" fails loudly, while
+//     benign floating-point drift across platforms does not.
+//
+// Regenerate the goldens after an intentional convergence change with:
+//
+//	go test ./internal/goldens -run TestGoldenConvergence -update
+package goldens

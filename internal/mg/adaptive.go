@@ -5,7 +5,6 @@ import (
 	"math"
 
 	"pbmg/internal/grid"
-	"pbmg/internal/stencil"
 )
 
 // This file implements the dynamic tuning the paper sketches as future work
@@ -66,7 +65,8 @@ func (a *AdaptiveSolver) Solve(x, b *grid.Grid, reduction float64, startSub int)
 		maxIters = 100
 	}
 	h := 1.0 / float64(x.N()-1)
-	r0 := stencil.ResidualNorm(x, b, h)
+	op := a.Ex.WS.opAt(x.N())
+	r0 := op.ResidualNorm(x, b, h)
 	if r0 == 0 {
 		return AdaptiveResult{Reduction: math.Inf(1), FinalSub: startSub}
 	}
@@ -75,7 +75,7 @@ func (a *AdaptiveSolver) Solve(x, b *grid.Grid, reduction float64, startSub int)
 	for res.Iters < maxIters {
 		a.Ex.Recurse(x, b, res.FinalSub)
 		res.Iters++
-		cur := stencil.ResidualNorm(x, b, h)
+		cur := op.ResidualNorm(x, b, h)
 		if cur <= r0/reduction || cur == 0 {
 			res.Reduction = safeRatio(r0, cur)
 			return res
@@ -88,7 +88,7 @@ func (a *AdaptiveSolver) Solve(x, b *grid.Grid, reduction float64, startSub int)
 		}
 		prev = cur
 	}
-	res.Reduction = safeRatio(r0, stencil.ResidualNorm(x, b, h))
+	res.Reduction = safeRatio(r0, op.ResidualNorm(x, b, h))
 	return res
 }
 

@@ -2,7 +2,6 @@ package mg
 
 import (
 	"pbmg/internal/grid"
-	"pbmg/internal/stencil"
 	"pbmg/internal/transfer"
 )
 
@@ -55,7 +54,7 @@ func (ws *Workspace) RefFullMG(x, b *grid.Grid, rec Recorder) {
 	bufs := ws.checkout(n)
 	defer ws.release(bufs)
 
-	stencil.Residual(ws.Pool, bufs.r, x, b, h)
+	ws.opAt(n).Residual(ws.Pool, bufs.r, x, b, h)
 	record(rec, EvResidual, lvl, 1)
 	transfer.Restrict(ws.Pool, bufs.cb, bufs.r)
 	record(rec, EvRestrict, lvl, 1)
@@ -98,15 +97,16 @@ func (ws *Workspace) SolveRefFullMG(x, b *grid.Grid, target float64, maxIters in
 	return iters + 1, a
 }
 
-// SolveSOR iterates single SOR sweeps with the size-optimal weight ω_opt
-// until the accuracy target is met — the paper's iterative baseline.
+// SolveSOR iterates single SOR sweeps with the operator's shortcut-solver
+// weight until the accuracy target is met — the paper's iterative baseline.
 func (ws *Workspace) SolveSOR(x, b *grid.Grid, target float64, maxIters int, accuracy func() float64, rec Recorder) (int, float64) {
 	n := x.N()
 	h := 1.0 / float64(n-1)
-	omega := stencil.OmegaOpt(n)
+	op := ws.opAt(n)
+	omega := op.OmegaOpt(n)
 	lvl := grid.Level(n)
 	iters, a := IterateUntil(target, maxIters, func() {
-		stencil.SORSweepRB(ws.Pool, x, b, h, omega)
+		op.SORSweepRB(ws.Pool, x, b, h, omega)
 	}, accuracy)
 	record(rec, EvIterSolve, lvl, iters)
 	return iters, a

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"pbmg/internal/grid"
-	"pbmg/internal/stencil"
 	"pbmg/internal/transfer"
 )
 
@@ -40,7 +39,7 @@ func (e *Executor) SolveV(x, b *grid.Grid, accIdx int) {
 	case ChoiceDirect:
 		e.WS.SolveDirect(x, b, e.Rec)
 	case ChoiceSOR:
-		e.WS.SOR(x, b, stencil.OmegaOpt(x.N()), plan.Iters, e.Rec)
+		e.WS.SOR(x, b, e.WS.OmegaOpt(x.N()), plan.Iters, e.Rec)
 	case ChoiceRecurse:
 		for it := 0; it < plan.Iters; it++ {
 			e.Recurse(x, b, plan.Sub)
@@ -84,7 +83,7 @@ func (e *Executor) SolveFull(x, b *grid.Grid, accIdx int) {
 		switch plan.Solve {
 		case ChoiceSOR:
 			if plan.Iters > 0 {
-				e.WS.SOR(x, b, stencil.OmegaOpt(x.N()), plan.Iters, e.Rec)
+				e.WS.SOR(x, b, e.WS.OmegaOpt(x.N()), plan.Iters, e.Rec)
 			}
 		case ChoiceRecurse:
 			for it := 0; it < plan.Iters; it++ {
@@ -112,7 +111,7 @@ func (e *Executor) Estimate(x, b *grid.Grid, estAcc int) {
 	bufs := e.WS.checkout(n)
 	defer e.WS.release(bufs)
 
-	stencil.Residual(e.WS.Pool, bufs.r, x, b, h)
+	e.WS.opAt(n).Residual(e.WS.Pool, bufs.r, x, b, h)
 	record(e.Rec, EvResidual, lvl, 1)
 	transfer.Restrict(e.WS.Pool, bufs.cb, bufs.r)
 	record(e.Rec, EvRestrict, lvl, 1)

@@ -20,8 +20,8 @@ import (
 // of goroutines may run cycles against it simultaneously, sharing one set
 // of tuned tables, one worker pool, and one direct-factor cache.
 //
-// The configuration fields (Pool, Smoother, CacheDirectFactor) must be set
-// before the workspace is shared across goroutines; solves treat them as
+// The configuration fields (Pool, Smoother, CacheDirectFactor, Op) must be
+// set before the workspace is shared across goroutines; solves treat them as
 // read-only.
 type Workspace struct {
 	// Pool parallelizes the stencil and transfer kernels. Nil runs serially.
@@ -38,10 +38,32 @@ type Workspace struct {
 	// paper's direct choice pays; enable it for production serving and
 	// reference-solution computation where only the answer matters.
 	CacheDirectFactor bool
+	// Op is the operator family the workspace solves, discretized at the
+	// finest grid size it will see; coarser levels are derived on demand via
+	// the operator's memoized coarse hierarchy. Nil selects the
+	// constant-coefficient Poisson operator, preserving the original
+	// behavior of every call site that predates operator families.
+	Op *stencil.Operator
 
 	cache direct.Cache // factor-once band-Cholesky cache; concurrency-safe
 	arena sync.Map     // grid size -> *sync.Pool of *levelBufs
 }
+
+// Operator returns the workspace's operator family (the shared Poisson
+// operator when Op is unset).
+func (ws *Workspace) Operator() *stencil.Operator {
+	if ws.Op == nil {
+		return stencil.Poisson()
+	}
+	return ws.Op
+}
+
+// opAt resolves the workspace operator for grid size n.
+func (ws *Workspace) opAt(n int) *stencil.Operator { return ws.Operator().At(n) }
+
+// OmegaOpt returns the operator-specific SOR shortcut-solver weight for an
+// n×n grid (see stencil.Operator.OmegaOpt).
+func (ws *Workspace) OmegaOpt(n int) float64 { return ws.opAt(n).OmegaOpt(n) }
 
 // levelBufs is the scratch set a cycle needs at one grid size n: the
 // residual and interpolation scratch at size n, and the coarse right-hand
@@ -97,11 +119,12 @@ func (ws *Workspace) release(b *levelBufs) {
 func (ws *Workspace) SolveDirect(x, b *grid.Grid, rec Recorder) {
 	n := x.N()
 	h := 1.0 / float64(n-1)
-	var s *direct.PoissonSolver
+	op := ws.opAt(n)
+	var s direct.InteriorSolver
 	if ws.CacheDirectFactor {
-		s = ws.cache.Get(n)
+		s = ws.cache.GetOp(op, n)
 	} else {
-		s = direct.NewPoissonSolver(n)
+		s = direct.NewInteriorSolver(op, n)
 	}
 	s.Solve(x, b, h)
 	record(rec, EvDirect, grid.Level(n), 1)
@@ -112,8 +135,9 @@ func (ws *Workspace) SolveDirect(x, b *grid.Grid, rec Recorder) {
 func (ws *Workspace) SOR(x, b *grid.Grid, omega float64, sweeps int, rec Recorder) {
 	n := x.N()
 	h := 1.0 / float64(n-1)
+	op := ws.opAt(n)
 	for s := 0; s < sweeps; s++ {
-		stencil.SORSweepRB(ws.Pool, x, b, h, omega)
+		op.SORSweepRB(ws.Pool, x, b, h, omega)
 	}
 	record(rec, EvIterSolve, grid.Level(n), sweeps)
 }
@@ -147,19 +171,23 @@ const jacobiWeight = 2.0 / 3.0
 
 // smooth runs sweeps of the configured smoother and records them as
 // relaxations. tmp is a caller-provided scratch grid of x's size; the SOR
-// smoother updates in place and ignores it.
+// smoother updates in place and ignores it. The SOR weight is the operator
+// family's in-cycle heuristic (stencil.Operator.OmegaSmooth); the Jacobi
+// ablation keeps the classic fixed w = 2/3 for every family.
 func (ws *Workspace) smooth(x, b, tmp *grid.Grid, sweeps int, rec Recorder) {
 	n := x.N()
 	h := 1.0 / float64(n-1)
+	op := ws.opAt(n)
 	switch ws.Smoother {
 	case SmootherJacobi:
 		for s := 0; s < sweeps; s++ {
-			stencil.JacobiSweep(ws.Pool, tmp, x, b, h, jacobiWeight)
+			op.JacobiSweep(ws.Pool, tmp, x, b, h, jacobiWeight)
 			x.CopyFrom(tmp)
 		}
 	default:
+		omega := op.OmegaSmooth()
 		for s := 0; s < sweeps; s++ {
-			stencil.SORSweepRB(ws.Pool, x, b, h, stencil.OmegaRecurse)
+			op.SORSweepRB(ws.Pool, x, b, h, omega)
 		}
 	}
 	record(rec, EvRelax, grid.Level(n), sweeps)
@@ -181,7 +209,7 @@ func (ws *Workspace) RecurseWith(x, b *grid.Grid, rec Recorder, coarseSolve func
 	defer ws.release(bufs)
 
 	ws.smooth(x, b, bufs.scratch, 1, rec)
-	stencil.Residual(ws.Pool, bufs.r, x, b, h)
+	ws.opAt(n).Residual(ws.Pool, bufs.r, x, b, h)
 	record(rec, EvResidual, lvl, 1)
 	transfer.Restrict(ws.Pool, bufs.cb, bufs.r)
 	record(rec, EvRestrict, lvl, 1)

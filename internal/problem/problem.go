@@ -13,31 +13,44 @@ import (
 	"math/rand"
 
 	"pbmg/internal/grid"
+	"pbmg/internal/stencil"
 )
 
-// Problem is one instance of the discrete Poisson problem T·x = b on an
+// Problem is one instance of the discrete operator problem T·x = b on an
 // N×N grid over the unit square (mesh spacing H = 1/(N−1)) with Dirichlet
-// boundary values.
+// boundary values. Op selects the operator family; nil means the
+// constant-coefficient Poisson operator (see Operator).
 type Problem struct {
 	N        int
 	H        float64
 	Dist     grid.Distribution
-	B        *grid.Grid // right-hand side
-	Boundary *grid.Grid // boundary values; interior entries are zero
-	opt      *grid.Grid // reference solution, set via SetOptimal
+	Op       *stencil.Operator // operator family; nil = Poisson
+	B        *grid.Grid        // right-hand side
+	Boundary *grid.Grid        // boundary values; interior entries are zero
+	opt      *grid.Grid        // reference solution, set via SetOptimal
 }
 
-// Random draws a problem of side n from the given distribution. The
-// right-hand side is fully random; only the border of the state is random
-// (interior boundary grid entries stay zero).
+// Random draws a constant-coefficient Poisson problem of side n from the
+// given distribution. The right-hand side is fully random; only the border
+// of the state is random (interior boundary grid entries stay zero).
 func Random(n int, dist grid.Distribution, rng *rand.Rand) *Problem {
+	return RandomOp(n, dist, rng, nil)
+}
+
+// RandomOp draws a problem of side n for the given operator family (nil for
+// Poisson). Variable-coefficient operators must be discretized at size n.
+func RandomOp(n int, dist grid.Distribution, rng *rand.Rand, op *stencil.Operator) *Problem {
 	if n < 3 {
 		panic(fmt.Sprintf("problem: side %d too small", n))
+	}
+	if op != nil && op.Coef() != nil && op.Coef().N() != n {
+		panic(fmt.Sprintf("problem: operator discretized at N=%d, problem side %d", op.Coef().N(), n))
 	}
 	p := &Problem{
 		N:        n,
 		H:        1.0 / float64(n-1),
 		Dist:     dist,
+		Op:       op,
 		B:        grid.New(n),
 		Boundary: grid.New(n),
 	}
@@ -46,8 +59,17 @@ func Random(n int, dist grid.Distribution, rng *rand.Rand) *Problem {
 	return p
 }
 
-// Zero returns a homogeneous problem (zero RHS and boundary) of side n,
-// useful for error-equation sub-problems and tests.
+// Operator returns the problem's operator family, defaulting to the
+// constant-coefficient Poisson operator when unset.
+func (p *Problem) Operator() *stencil.Operator {
+	if p.Op == nil {
+		return stencil.Poisson()
+	}
+	return p.Op
+}
+
+// Zero returns a homogeneous Poisson problem (zero RHS and boundary) of side
+// n, useful for error-equation sub-problems and tests.
 func Zero(n int) *Problem {
 	return &Problem{N: n, H: 1.0 / float64(n-1), B: grid.New(n), Boundary: grid.New(n)}
 }

@@ -73,3 +73,24 @@ func TestPathsAgreeNearBoundary(t *testing.T) {
 		t.Fatalf("boundary-size reference residual %v too large", res)
 	}
 }
+
+// TestComputeStalledMultigridFallsBackToDirect: for strong anisotropy at
+// N > DirectMaxN, point-smoothed V-cycles stall far above the reference
+// floor; Compute must detect the stall and replace the bad reference with a
+// direct solve rather than silently returning it.
+func TestComputeStalledMultigridFallsBackToDirect(t *testing.T) {
+	if testing.Short() {
+		t.Skip("factors an N=257 band matrix")
+	}
+	op, err := stencil.NewOperator(stencil.FamilyAnisotropic, 0.01, 257)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := problem.RandomOp(257, grid.Unbiased, rand.New(rand.NewSource(6)), op)
+	x := Compute(p, nil)
+	scale := grid.L2Interior(p.B) + grid.MaxAbsInterior(p.Boundary) + 1
+	res := op.ResidualNorm(x, p.B, p.H)
+	if res > stalledResidualFactor*relResidualTarget*scale {
+		t.Fatalf("stalled reference returned: residual %v (scale %v)", res, scale)
+	}
+}

@@ -106,6 +106,26 @@ func InterpolateAdd(pool *sched.Pool, x, coarse, scratch *grid.Grid) {
 	x.AddInterior(scratch)
 }
 
+// RestrictCoef restricts a nodal coefficient field to the next-coarser
+// level by injection: multigrid nodes coincide across levels (coarse point
+// (I, J) sits on fine point (2I, 2J)), so injection is exact re-sampling of
+// the underlying continuous field — the standard coefficient re-discretization
+// for variable-coefficient operators. Unlike Restrict, the boundary is kept
+// (coefficients are field data, not residuals).
+func RestrictCoef(coarse, fine *grid.Grid) {
+	nc, nf := coarse.N(), fine.N()
+	if nf != 2*nc-1 {
+		panic(fmt.Sprintf("transfer: RestrictCoef size mismatch fine=%d coarse=%d", nf, nc))
+	}
+	for ci := 0; ci < nc; ci++ {
+		cr := coarse.Row(ci)
+		fr := fine.Row(2 * ci)
+		for cj := 0; cj < nc; cj++ {
+			cr[cj] = fr[2*cj]
+		}
+	}
+}
+
 // RestrictProblem restricts a full problem (not a residual): it computes the
 // coarse right-hand side by full weighting and down-samples the boundary of
 // x by injection. Used by the full-multigrid estimation phase, where the

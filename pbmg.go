@@ -35,6 +35,7 @@ import (
 	"pbmg/internal/problem"
 	"pbmg/internal/refsol"
 	"pbmg/internal/sched"
+	"pbmg/internal/stencil"
 )
 
 // Grid is a square N×N grid of float64 values (row-major). See NewGrid.
@@ -55,13 +56,44 @@ const (
 	PointSources = grid.PointSources
 )
 
-// Problem is one Poisson problem instance.
+// Problem is one operator problem instance.
 type Problem = problem.Problem
 
-// NewProblem draws a random problem of side n (must be 2^k+1) from the
-// given distribution.
+// Family selects an operator family. The solver tunes each family
+// independently: the same dynamic program, run under a family's kernels,
+// discovers a different optimal cycle shape (most visibly for strong
+// anisotropy, where smoothing loses power and direct solves win deeper).
+type Family = stencil.Family
+
+// Operator families: the paper's constant-coefficient Poisson operator −∇²,
+// the anisotropic operator −(ε·∂²/∂x² + ∂²/∂y²), and the
+// variable-coefficient operator −∇·(c∇u) with the built-in smooth positive
+// coefficient field of contrast parameter σ.
+const (
+	FamilyPoisson     = stencil.FamilyPoisson
+	FamilyAnisotropic = stencil.FamilyAnisotropic
+	FamilyVarCoef     = stencil.FamilyVarCoef
+)
+
+// ParseFamily parses a family name ("poisson", "aniso", "varcoef").
+func ParseFamily(s string) (Family, error) { return stencil.ParseFamily(s) }
+
+// NewProblem draws a random constant-coefficient Poisson problem of side n
+// (must be 2^k+1) from the given distribution.
 func NewProblem(n int, dist Distribution, seed int64) *Problem {
 	return problem.Random(n, dist, rand.New(rand.NewSource(seed)))
+}
+
+// NewFamilyProblem draws a random problem of side n for the given operator
+// family. eps is the anisotropy ratio ε (FamilyAnisotropic) or the
+// coefficient contrast σ (FamilyVarCoef); zero selects the family default.
+// Solve it with a Solver tuned for the same family and parameter.
+func NewFamilyProblem(n int, dist Distribution, seed int64, f Family, eps float64) (*Problem, error) {
+	op, err := stencil.NewOperator(f, core.ResolveEps(f, eps), n)
+	if err != nil {
+		return nil, err
+	}
+	return problem.RandomOp(n, dist, rand.New(rand.NewSource(seed)), op.At(n)), nil
 }
 
 // Reference computes the problem's near-exact solution and attaches it, so
@@ -76,6 +108,12 @@ type Options struct {
 	// MaxSize is the finest grid side the solver will handle; must be
 	// 2^k + 1 with k ≥ 2.
 	MaxSize int
+	// Family selects the operator family to tune for (default FamilyPoisson).
+	Family Family
+	// Epsilon is the family parameter: anisotropy ratio ε for
+	// FamilyAnisotropic, coefficient contrast σ for FamilyVarCoef. Zero
+	// selects the family default; ignored for FamilyPoisson.
+	Epsilon float64
 	// Accuracies are the discrete accuracy targets (default: the paper's
 	// 10, 10³, 10⁵, 10⁷, 10⁹).
 	Accuracies []float64
@@ -128,6 +166,8 @@ func Tune(o Options) (*Solver, error) {
 	tn, err := core.New(core.Config{
 		Accuracies:   o.Accuracies,
 		MaxLevel:     level,
+		Family:       o.Family,
+		Eps:          o.Epsilon,
 		Distribution: o.Distribution,
 		Seed:         o.Seed,
 		Coster:       coster,
@@ -143,7 +183,12 @@ func Tune(o Options) (*Solver, error) {
 		closePool(pool)
 		return nil, err
 	}
-	return newSolver(tuned, pool), nil
+	s, err := newSolver(tuned, pool)
+	if err != nil {
+		closePool(pool)
+		return nil, err
+	}
+	return s, nil
 }
 
 // Load reads a tuned configuration written by Save. Workers configures the
@@ -157,13 +202,23 @@ func Load(path string, workers int) (*Solver, error) {
 	if workers > 1 {
 		pool = sched.NewPool(workers)
 	}
-	return newSolver(tuned, pool), nil
+	s, err := newSolver(tuned, pool)
+	if err != nil {
+		closePool(pool)
+		return nil, err
+	}
+	return s, nil
 }
 
-func newSolver(tuned *core.Tuned, pool *sched.Pool) *Solver {
+func newSolver(tuned *core.Tuned, pool *sched.Pool) (*Solver, error) {
+	op, err := tuned.OperatorValue()
+	if err != nil {
+		return nil, err
+	}
 	ws := mg.NewWorkspace(pool)
 	ws.CacheDirectFactor = true // production solves reuse factorizations
-	return &Solver{tuned: tuned, ws: ws, pool: pool}
+	ws.Op = op
+	return &Solver{tuned: tuned, ws: ws, pool: pool}, nil
 }
 
 func closePool(p *sched.Pool) {
@@ -180,6 +235,22 @@ func (s *Solver) Save(path string) error { return s.tuned.Save(path) }
 
 // Machine returns the name of the cost model the solver was tuned for.
 func (s *Solver) Machine() string { return s.tuned.Machine }
+
+// Family returns the operator family the solver was tuned for.
+func (s *Solver) Family() Family { return s.ws.Operator().Family() }
+
+// Epsilon returns the operator family parameter (ε or σ; 1 for Poisson).
+func (s *Solver) Epsilon() float64 { return s.ws.Operator().Eps() }
+
+// NewFamilyProblem draws a random problem matched to the solver's operator
+// family and parameter, sharing the solver's operator hierarchy.
+func (s *Solver) NewFamilyProblem(n int, dist Distribution, seed int64) (*Problem, error) {
+	if err := s.checkSizeN(n); err != nil {
+		return nil, err
+	}
+	op := s.ws.Operator().At(n)
+	return problem.RandomOp(n, dist, rand.New(rand.NewSource(seed)), op), nil
+}
 
 // MaxSize returns the finest grid side the solver was tuned for.
 func (s *Solver) MaxSize() int { return grid.SizeOfLevel(s.tuned.MaxLevel) }
@@ -201,13 +272,15 @@ func (s *Solver) accIndex(accuracy float64) (int, error) {
 }
 
 // checkSize verifies x is within the tuned range.
-func (s *Solver) checkSize(x *Grid) error {
-	level := grid.Level(x.N())
+func (s *Solver) checkSize(x *Grid) error { return s.checkSizeN(x.N()) }
+
+func (s *Solver) checkSizeN(n int) error {
+	level := grid.Level(n)
 	if level < 1 {
-		return fmt.Errorf("pbmg: grid side %d is not 2^k+1", x.N())
+		return fmt.Errorf("pbmg: grid side %d is not 2^k+1", n)
 	}
 	if level > s.tuned.MaxLevel {
-		return fmt.Errorf("pbmg: grid side %d exceeds tuned maximum %d", x.N(), s.MaxSize())
+		return fmt.Errorf("pbmg: grid side %d exceeds tuned maximum %d", n, s.MaxSize())
 	}
 	return nil
 }
@@ -261,7 +334,10 @@ func (s *Solver) CycleShape(n int, accuracy float64, full bool) (string, error) 
 	}
 	// Execute the plan on a scratch problem, recording the shape. Cycle
 	// structure is data-independent, so any instance yields the shape.
-	p := NewProblem(n, s.tuned.DistributionValue(), 1)
+	p, err := s.NewFamilyProblem(n, s.tuned.DistributionValue(), 1)
+	if err != nil {
+		return "", err
+	}
 	var log mg.ShapeLog
 	x := p.NewState()
 	if err := s.solve(x, p.B, s.tuned.V.Acc[idx], full, &log); err != nil {

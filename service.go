@@ -54,6 +54,13 @@ func (s *Solver) NewService(maxInFlight int) *Service {
 // MaxInFlight returns the admission limit.
 func (sv *Service) MaxInFlight() int { return cap(sv.sem) }
 
+// Family returns the operator family the underlying solver serves; requests
+// must be drawn from the same family (see Solver.NewFamilyProblem).
+func (sv *Service) Family() Family { return sv.s.Family() }
+
+// Epsilon returns the served family's parameter (ε or σ; 1 for Poisson).
+func (sv *Service) Epsilon() float64 { return sv.s.Epsilon() }
+
 // Completed returns the number of solves finished successfully so far.
 func (sv *Service) Completed() int64 { return sv.completed.Load() }
 
