@@ -102,6 +102,33 @@ func TestCLIRoundTrip(t *testing.T) {
 		}
 	}
 
+	// --- 3D Poisson: tune the poisson3d family up to level 5 (N=33) and
+	// solve at the tuned size — the dimension-generic path end to end.
+	cfg3d := filepath.Join(dir, "poisson3d.json")
+	out, err = exec.Command(mgtune,
+		"-size", "33", "-family", "poisson3d",
+		"-machine", "intel-harpertown", "-workers", "1",
+		"-o", cfg3d, "-q").CombinedOutput()
+	if err != nil {
+		t.Fatalf("mgtune -family poisson3d: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "family poisson3d") {
+		t.Fatalf("mgtune output missing 3D family provenance: %s", out)
+	}
+
+	out, err = exec.Command(mgsolve,
+		"-config", cfg3d, "-size", "33", "-acc", "1e5", "-workers", "1",
+		"-family", "poisson3d", "-cycle").CombinedOutput()
+	if err != nil {
+		t.Fatalf("mgsolve poisson3d: %v\n%s", err, out)
+	}
+	text = string(out)
+	for _, want := range []string{"family poisson3d", "tuned cycle shape", "achieved"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("mgsolve poisson3d output missing %q:\n%s", want, text)
+		}
+	}
+
 	// Bad-input error paths: each must exit non-zero with a telling message.
 	for _, tc := range []struct {
 		name    string
@@ -111,6 +138,9 @@ func TestCLIRoundTrip(t *testing.T) {
 		{"family mismatch",
 			exec.Command(mgsolve, "-config", anisoCfg, "-size", "17", "-family", "poisson"),
 			"tuned for family aniso"},
+		{"3D family mismatch",
+			exec.Command(mgsolve, "-config", cfg3d, "-size", "33", "-family", "poisson"),
+			"tuned for family poisson3d"},
 		{"unknown family",
 			exec.Command(mgsolve, "-config", anisoCfg, "-size", "17", "-family", "helmholtz"),
 			"unknown operator family"},

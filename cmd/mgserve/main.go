@@ -35,6 +35,8 @@ func main() {
 	workers := flag.Int("workers", runtime.NumCPU(), "kernel worker threads shared by all solves")
 	inflight := flag.Int("inflight", 0, "max in-flight solves (0: 2×GOMAXPROCS)")
 	dist := flag.String("dist", "unbiased", "request data distribution: unbiased, biased, or point-sources")
+	family := flag.String("family", "", "operator family to serve (poisson, aniso, varcoef, poisson3d). With -config it must match the configuration; without, it selects the family for in-process tuning")
+	epsilon := flag.Float64("epsilon", 0, "family parameter ε/σ for in-process tuning (0: family default)")
 	seed := flag.Int64("seed", 42, "request problem seed")
 	flag.Parse()
 
@@ -43,9 +45,14 @@ func main() {
 		fatal(err)
 	}
 
-	solver, err := loadOrTune(*config, *machine, *size, *workers)
+	solver, err := loadOrTune(*config, *machine, *family, *epsilon, *size, *workers)
 	if err != nil {
 		fatal(err)
+	}
+	if *config != "" {
+		if err := solver.CheckFamilyFlags(*config, *family, *epsilon); err != nil {
+			fatal(err)
+		}
 	}
 	defer solver.Close()
 	if *size > solver.MaxSize() {
@@ -145,13 +152,20 @@ func main() {
 }
 
 // loadOrTune loads a saved configuration, or tunes one in-process for the
-// requested size on a deterministic simulated machine.
-func loadOrTune(config, machine string, size, workers int) (*pbmg.Solver, error) {
+// requested size and family on a deterministic simulated machine.
+func loadOrTune(config, machine, family string, epsilon float64, size, workers int) (*pbmg.Solver, error) {
 	if config != "" {
 		return pbmg.Load(config, workers)
 	}
-	fmt.Fprintf(os.Stderr, "mgserve: no -config, tuning in-process for N=%d on %s\n", size, machine)
-	return pbmg.Tune(pbmg.Options{MaxSize: size, Machine: machine, Workers: workers})
+	f := pbmg.FamilyPoisson
+	if family != "" {
+		var err error
+		if f, err = pbmg.ParseFamily(family); err != nil {
+			return nil, err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "mgserve: no -config, tuning in-process for N=%d (family %s) on %s\n", size, f, machine)
+	return pbmg.Tune(pbmg.Options{MaxSize: size, Family: f, Epsilon: epsilon, Machine: machine, Workers: workers})
 }
 
 // percentile returns the q-quantile of sorted latencies.

@@ -23,7 +23,7 @@ func main() {
 	config := flag.String("config", "tuned.json", "tuned configuration from mgtune")
 	size := flag.Int("size", 257, "grid side (2^k+1, within the tuned range)")
 	acc := flag.Float64("acc", 1e7, "required accuracy level")
-	family := flag.String("family", "", "operator family the problem is drawn from (poisson, aniso, varcoef); must match the tuned configuration. Empty uses the configuration's family")
+	family := flag.String("family", "", "operator family the problem is drawn from (poisson, aniso, varcoef, poisson3d); must match the tuned configuration. Empty uses the configuration's family")
 	epsilon := flag.Float64("epsilon", 0, "family parameter ε/σ; must match the tuned configuration. 0 uses the configuration's value")
 	dist := flag.String("dist", "unbiased", "test data distribution: unbiased, biased, or point-sources")
 	seed := flag.Int64("seed", 7, "test problem seed")
@@ -43,24 +43,11 @@ func main() {
 	}
 	defer solver.Close()
 
-	// The problem family must match the family the configuration was tuned
-	// for: tuned tables are family-specific, so a mismatch would silently
-	// solve the wrong operator.
-	if *family != "" {
-		f, err := pbmg.ParseFamily(*family)
-		if err != nil {
-			fatal(err)
-		}
-		if f != solver.Family() {
-			fatal(fmt.Errorf("configuration %s is tuned for family %s, not %s; re-tune with mgtune -family %s",
-				*config, solver.Family(), f, f))
-		}
-	}
-	// Poisson has no family parameter, so -epsilon is only checked for the
-	// parameterized families.
-	if *epsilon != 0 && solver.Family() != pbmg.FamilyPoisson && *epsilon != solver.Epsilon() {
-		fatal(fmt.Errorf("configuration %s is tuned for eps %g, not %g; re-tune with mgtune -family %s -epsilon %g",
-			*config, solver.Epsilon(), *epsilon, solver.Family(), *epsilon))
+	// The problem family and parameter must match what the configuration
+	// was tuned for: tuned tables are family-specific, so a mismatch would
+	// silently solve the wrong operator.
+	if err := solver.CheckFamilyFlags(*config, *family, *epsilon); err != nil {
+		fatal(err)
 	}
 
 	if *cycle {

@@ -19,7 +19,7 @@ import (
 
 func main() {
 	size := flag.Int("size", 257, "finest grid side (must be 2^k+1)")
-	family := flag.String("family", "poisson", "operator family: poisson, aniso, or varcoef")
+	family := flag.String("family", "poisson", "operator family: poisson, aniso, varcoef, or poisson3d")
 	epsilon := flag.Float64("epsilon", 0, "family parameter: anisotropy ε (aniso) or coefficient contrast σ (varcoef); 0 selects the family default")
 	dist := flag.String("dist", "unbiased", "training distribution: unbiased, biased, or point-sources")
 	machine := flag.String("machine", "", "simulated machine to tune for (intel-harpertown, amd-barcelona, sun-niagara); empty tunes the host by wall clock")

@@ -1,14 +1,29 @@
 package pbmg
 
 import (
+	"fmt"
 	"math"
+	"sync"
 	"testing"
 )
 
 // tuneFamily tunes a small family solver on the deterministic simulated
-// machine.
+// machine, memoizing per (family, ε) for the whole test binary: tuning is
+// deterministic and the pool-less solvers are immutable and cheap to keep,
+// while re-tuning under -race dominates the suite otherwise.
+var (
+	tunedMu  sync.Mutex
+	tunedMap = map[string]*Solver{}
+)
+
 func tuneFamily(t *testing.T, f Family, eps float64) *Solver {
 	t.Helper()
+	key := fmt.Sprintf("%v/%g", f, eps)
+	tunedMu.Lock()
+	defer tunedMu.Unlock()
+	if s, ok := tunedMap[key]; ok {
+		return s
+	}
 	s, err := Tune(Options{
 		MaxSize:      33,
 		Family:       f,
@@ -20,7 +35,7 @@ func tuneFamily(t *testing.T, f Family, eps float64) *Solver {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(s.Close)
+	tunedMap[key] = s
 	return s
 }
 

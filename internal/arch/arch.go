@@ -34,10 +34,27 @@ func (WallClock) Cost(_ *mg.OpTrace, elapsed time.Duration) float64 {
 	return elapsed.Seconds()
 }
 
+// ForDim returns a coster pricing problems of the given spatial dimension:
+// a fresh copy for *Model (the receiver is never mutated, so a caller may
+// reuse one Model across tuners of different dimensions), and c itself for
+// dimension-independent costers like WallClock.
+func ForDim(c Coster, dim int) Coster {
+	if m, ok := c.(*Model); ok && m.Dim != dim {
+		cp := *m
+		cp.Dim = dim
+		return &cp
+	}
+	return c
+}
+
 // Model is a deterministic machine cost model. Costs are in abstract time
 // units; only ratios matter to the tuner.
 type Model struct {
 	Name_ string
+	// Dim is the spatial dimension of the problems being priced (0 and 2
+	// mean 2D; 3 prices N³ grids and the O(N⁷) 3D band factorization).
+	// A Model prices one dimension; derive others with ForDim.
+	Dim int
 	// Cores is the number of hardware threads stencil work spreads over.
 	Cores int
 	// FlopTime is the time per scalar floating-point operation.
@@ -79,13 +96,26 @@ func (m *Model) Name() string { return m.Name_ }
 // code skip high-precision wall-clock sampling.
 func (m *Model) TraceBased() {}
 
-// Per-point operation intensities for the 5-point stencil kernels:
+// dim3 reports whether the model is pricing 3D problems.
+func (m *Model) dim3() bool { return m.Dim == 3 }
+
+// Per-point operation intensities for the 5-point (2D) stencil kernels:
 // approximate flop and byte counts per interior grid point.
 const (
 	relaxFlops, relaxBytes       = 8, 48
 	residualFlops, residualBytes = 7, 48
 	restrictFlops, restrictBytes = 12, 88
 	interpFlops, interpBytes     = 5, 48
+)
+
+// The 7-point (3D) counterparts: two more stencil reads per relaxation and
+// residual, a 27-point restriction, and a trilinear interpolation that
+// averages up to 8 coarse values.
+const (
+	relaxFlops3, relaxBytes3       = 10, 64
+	residualFlops3, residualBytes3 = 9, 64
+	restrictFlops3, restrictBytes3 = 40, 120
+	interpFlops3, interpBytes3     = 7, 64
 )
 
 // levelSide returns the grid side at level k.
@@ -96,9 +126,14 @@ func levelSide(level int) int { return (1 << uint(level)) + 1 }
 func (m *Model) stencilCost(level int, flopsPerPoint, bytesPerPoint float64) float64 {
 	n := levelSide(level)
 	points := float64(n-2) * float64(n-2)
+	footprint := float64(n) * float64(n) * 8 * 2
+	if m.dim3() {
+		points *= float64(n - 2)
+		footprint *= float64(n)
+	}
 	flopTime := points * flopsPerPoint * m.FlopTime
 	memTime := points * bytesPerPoint * m.MemTime
-	if footprint := float64(n) * float64(n) * 8 * 2; footprint <= m.CacheBytes {
+	if footprint <= m.CacheBytes {
 		memTime *= m.CacheMemFactor
 	}
 	if int(points) < m.ParallelMinPoints || m.Cores == 1 {
@@ -115,29 +150,44 @@ func (m *Model) stencilCost(level int, flopsPerPoint, bytesPerPoint float64) flo
 
 // directCost prices one band-Cholesky direct solve at level k: a fresh
 // O(n·bw²) factorization plus an O(n·bw) solve, both sequential — the DPBSV
-// cost profile the paper's direct choice pays.
+// cost profile the paper's direct choice pays. In 2D the interior matrix
+// has m² unknowns at bandwidth m; in 3D, m³ unknowns at bandwidth m².
 func (m *Model) directCost(level int) float64 {
 	n := levelSide(level)
 	mm := float64(n - 2)
-	unknowns := mm * mm
-	flops := unknowns*mm*mm + 4*unknowns*mm
+	unknowns, bw := mm*mm, mm
+	if m.dim3() {
+		unknowns, bw = mm*mm*mm, mm*mm
+	}
+	flops := unknowns*bw*bw + 4*unknowns*bw
 	return flops * m.FlopTime * m.DirectFlopFactor
 }
 
-// EventCost prices count occurrences of an operation kind at a level.
+// EventCost prices count occurrences of an operation kind at a level,
+// using the per-point intensities of the dimension being priced.
 func (m *Model) EventCost(kind mg.EventKind, level, count int) float64 {
 	c := float64(count)
 	base := c * m.CallOverhead
+	relF, relB := float64(relaxFlops), float64(relaxBytes)
+	resF, resB := float64(residualFlops), float64(residualBytes)
+	rstF, rstB := float64(restrictFlops), float64(restrictBytes)
+	intF, intB := float64(interpFlops), float64(interpBytes)
+	if m.dim3() {
+		relF, relB = relaxFlops3, relaxBytes3
+		resF, resB = residualFlops3, residualBytes3
+		rstF, rstB = restrictFlops3, restrictBytes3
+		intF, intB = interpFlops3, interpBytes3
+	}
 	switch kind {
 	case mg.EvRelax, mg.EvIterSolve:
-		return base + c*m.stencilCost(level, relaxFlops, relaxBytes)
+		return base + c*m.stencilCost(level, relF, relB)
 	case mg.EvResidual:
-		return base + c*m.stencilCost(level, residualFlops, residualBytes)
+		return base + c*m.stencilCost(level, resF, resB)
 	case mg.EvRestrict:
 		// Work is proportional to the coarse grid written.
-		return base + c*m.stencilCost(level-1, restrictFlops, restrictBytes)
+		return base + c*m.stencilCost(level-1, rstF, rstB)
 	case mg.EvInterp:
-		return base + c*m.stencilCost(level, interpFlops, interpBytes)
+		return base + c*m.stencilCost(level, intF, intB)
 	case mg.EvDirect:
 		return base + c*m.directCost(level)
 	default:

@@ -49,7 +49,7 @@ func (t *Tuner) Tune() (*Tuned, error) {
 		return nil, err
 	}
 	eps := t.cfg.Eps
-	if t.cfg.Family == stencil.FamilyPoisson {
+	if !FamilyHasParam(t.cfg.Family) {
 		eps = 0
 	}
 	return &Tuned{
@@ -105,7 +105,7 @@ func (t *Tuned) Validate() error {
 	if err != nil {
 		return fmt.Errorf("core: tuned bundle operator invalid: %w", err)
 	}
-	if f != stencil.FamilyPoisson && !(t.Eps > 0) {
+	if FamilyHasParam(f) && !(t.Eps > 0) {
 		return fmt.Errorf("core: tuned bundle operator invalid: family %s needs a positive parameter, got %g", f, t.Eps)
 	}
 	if t.V == nil {

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"pbmg/internal/arch"
+	"pbmg/internal/direct"
 	"pbmg/internal/grid"
 	"pbmg/internal/mg"
 	"pbmg/internal/problem"
@@ -87,6 +88,13 @@ const (
 	DefaultVarCoefSigma = 2.0
 )
 
+// FamilyHasParam reports whether a family carries a tunable parameter
+// (anisotropy ratio ε or coefficient contrast σ). The constant-coefficient
+// Laplacians — 2D and 3D — are parameterless.
+func FamilyHasParam(f stencil.Family) bool {
+	return f == stencil.FamilyAnisotropic || f == stencil.FamilyVarCoef
+}
+
 // ResolveEps maps the zero-value family parameter to the family default —
 // the single place the default lives, shared by the tuner and the public
 // problem constructors so both always agree on what "unset" means.
@@ -117,7 +125,19 @@ func (cfg Config) Defaults() Config {
 		cfg.Coster = arch.WallClock{}
 	}
 	if cfg.DirectMaxLevel == 0 {
-		cfg.DirectMaxLevel = 7
+		if cfg.Family.Dim() == 3 {
+			// 3D band factorization costs O(N⁷); exploring the direct choice
+			// past N=17 buys nothing and dominates tuning time.
+			cfg.DirectMaxLevel = 4
+		} else {
+			cfg.DirectMaxLevel = 7
+		}
+	}
+	// Never explore the direct choice past the hard 3D factorization cap.
+	if cfg.Family.Dim() == 3 {
+		for cfg.DirectMaxLevel > 2 && grid.SizeOfLevel(cfg.DirectMaxLevel) > direct.Direct3DMaxN {
+			cfg.DirectMaxLevel--
+		}
 	}
 	if cfg.MaxSORIters == 0 {
 		cfg.MaxSORIters = 400
@@ -163,6 +183,10 @@ func New(cfg Config) (*Tuner, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Trace-based costers price per-level stencil passes by point count,
+	// which depends on the operator's dimension; derive a coster for this
+	// tuner's geometry (the caller's coster is never mutated).
+	cfg.Coster = arch.ForDim(cfg.Coster, op.Dim())
 	ws := mg.NewWorkspace(cfg.Pool)
 	ws.Smoother = cfg.Smoother
 	ws.Op = op

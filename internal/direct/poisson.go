@@ -113,14 +113,17 @@ type Cache struct {
 	entries map[cacheKey]*cacheEntry
 }
 
-// cacheKey identifies one factorization: the operator (nil for the
-// constant-coefficient Laplacian) and the grid side. Operators are compared
-// by identity — within one operator family hierarchy the operator for a
-// given size is a stable memoized pointer (see stencil.Operator.Coarse), so
-// identity is exactly the right granularity.
+// cacheKey identifies one factorization: the operator (nil for the 2D
+// constant-coefficient Laplacian), the grid side, and the spatial dimension.
+// Operators are compared by identity — within one operator family hierarchy
+// the operator for a given size is a stable memoized pointer (see
+// stencil.Operator.Coarse), so identity is exactly the right granularity.
+// The dimension is implied by the operator but kept explicit so a 2D and a
+// 3D factorization of the same side can never collide.
 type cacheKey struct {
-	op *stencil.Operator
-	n  int
+	op  *stencil.Operator
+	n   int
+	dim int
 }
 
 // cacheEntry is one per-key slot: mu serializes the factorization, done
@@ -144,10 +147,14 @@ func (c *Cache) Get(n int) *PoissonSolver {
 // it on first use. A nil operator (or the Poisson family) uses the
 // specialized constant-coefficient path.
 func (c *Cache) GetOp(op *stencil.Operator, n int) InteriorSolver {
-	if op != nil && op.Family() == stencil.FamilyPoisson {
-		op = nil // all Poisson operators share one factorization per size
+	dim := 2
+	if op != nil {
+		dim = op.Dim()
+		if op.Family() == stencil.FamilyPoisson {
+			op = nil // all 2D Poisson operators share one factorization per size
+		}
 	}
-	key := cacheKey{op: op, n: n}
+	key := cacheKey{op: op, n: n, dim: dim}
 	c.mu.Lock()
 	if c.entries == nil {
 		c.entries = make(map[cacheKey]*cacheEntry)

@@ -30,21 +30,25 @@ const (
 	goldenMachine  = "intel-harpertown"
 	goldenSeed     = 1
 	goldenTestSeed = 12345 // held-out problem, distinct from training seeds
-	goldenMaxLevel = 7     // N = 129
-	goldenMinLevel = 4     // N = 17
 )
 
-// families under regression lockdown. The ε = 0.01 anisotropic entry is the
-// acceptance case: strong anisotropy defeats point smoothing, so its tuned
-// table must differ structurally from the isotropic one.
+// families under regression lockdown, each with its own tuned/measured
+// level range. The ε = 0.01 anisotropic entry is one acceptance case:
+// strong anisotropy defeats point smoothing, so its tuned table must differ
+// structurally from the isotropic one. The poisson3d entry locks down the
+// dimension-generic path at levels 3–5 (N³ grows fast: level 5 is 33³ ≈
+// 36k points, which keeps the suite inside CI budgets even under -race).
 var families = []struct {
-	Name   string
-	Family stencil.Family
-	Eps    float64
+	Name     string
+	Family   stencil.Family
+	Eps      float64
+	MinLevel int
+	MaxLevel int
 }{
-	{"poisson", stencil.FamilyPoisson, 0},
-	{"aniso-0.01", stencil.FamilyAnisotropic, 0.01},
-	{"varcoef-2", stencil.FamilyVarCoef, 2},
+	{"poisson", stencil.FamilyPoisson, 0, 4, 7},
+	{"aniso-0.01", stencil.FamilyAnisotropic, 0.01, 4, 7},
+	{"varcoef-2", stencil.FamilyVarCoef, 2, 4, 7},
+	{"poisson3d", stencil.FamilyPoisson3D, 0, 3, 5},
 }
 
 // golden is the recorded work and outcome of one (family, level, accuracy)
@@ -68,13 +72,13 @@ var (
 	tunedMap  = map[string]*core.Tuned{}
 )
 
-func tuneOne(f stencil.Family, eps float64) (*core.Tuned, error) {
+func tuneOne(f stencil.Family, eps float64, maxLevel int) (*core.Tuned, error) {
 	m, err := arch.ByName(goldenMachine)
 	if err != nil {
 		return nil, err
 	}
 	tuner, err := core.New(core.Config{
-		MaxLevel: goldenMaxLevel,
+		MaxLevel: maxLevel,
 		Family:   f,
 		Eps:      eps,
 		Seed:     goldenSeed,
@@ -102,7 +106,7 @@ func tunedFor(t *testing.T, name string) *core.Tuned {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				tn, err := tuneOne(fam.Family, fam.Eps)
+				tn, err := tuneOne(fam.Family, fam.Eps, fam.MaxLevel)
 				mu.Lock()
 				defer mu.Unlock()
 				if err != nil && tunedErr == nil {
@@ -183,13 +187,13 @@ func loadGoldens(t *testing.T) map[string]golden {
 // golden.
 func TestGoldenConvergence(t *testing.T) {
 	if testing.Short() {
-		t.Skip("tunes three operator families")
+		t.Skip("tunes four operator families")
 	}
 	measured := map[string]golden{}
 	for _, fam := range families {
 		tn := tunedFor(t, fam.Name)
 		accs := tn.V.Acc
-		for level := goldenMinLevel; level <= goldenMaxLevel; level++ {
+		for level := fam.MinLevel; level <= fam.MaxLevel; level++ {
 			for i, target := range accs {
 				key := fmt.Sprintf("%s/level%d/acc1e%d", fam.Name, level, int(math.Round(math.Log10(target))))
 				g, acc := solveCell(t, tn, level, i)
@@ -263,6 +267,25 @@ func TestAnisoTableDiffersFromPoisson(t *testing.T) {
 	if pois.Family != "poisson" || aniso.Family != "aniso" || aniso.Eps != 0.01 {
 		t.Fatalf("family provenance not recorded: %q/%g and %q/%g",
 			pois.Family, pois.Eps, aniso.Family, aniso.Eps)
+	}
+}
+
+// TestPoisson3DTableDiffersFromPoisson is the dimension acceptance
+// criterion: the 3D dynamic program — measuring under 7-point kernels and
+// 3D trace costs — must land on a table that differs from the 2D Poisson
+// one over their shared levels.
+func TestPoisson3DTableDiffersFromPoisson(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tunes two operator families")
+	}
+	pois := tunedFor(t, "poisson")
+	p3d := tunedFor(t, "poisson3d")
+	if p3d.Family != "poisson3d" || p3d.MaxLevel != 5 {
+		t.Fatalf("3D provenance not recorded: %q max level %d", p3d.Family, p3d.MaxLevel)
+	}
+	shared := p3d.MaxLevel - 1 // table rows cover levels 2..MaxLevel
+	if reflect.DeepEqual(pois.V.Plans[:shared], p3d.V.Plans) {
+		t.Fatal("3D tuned V table is identical to the 2D one over shared levels")
 	}
 }
 

@@ -1,64 +1,146 @@
-// Package grid provides the square 2D grid container used throughout the
+// Package grid provides the square/cubic grid container used throughout the
 // multigrid solver, together with norms and the random training-data
 // distributions from the paper's evaluation (§4).
 //
-// Grids are stored row-major in a single flat slice so that relaxation and
-// transfer kernels stream through memory. Multigrid levels use sizes
-// N = 2^k + 1; Level/SizeOfLevel convert between the two conventions.
+// A Grid is either a 2D N×N square or a 3D N×N×N cube of float64 values,
+// tagged by Dim and stored in a single flat slice (row-major in 2D;
+// plane-major, then row-major in 3D) so that relaxation and transfer kernels
+// stream through memory. Multigrid levels use sizes N = 2^k + 1;
+// Level/SizeOfLevel convert between the two conventions and are
+// dimension-independent (only the side length recurses).
+//
+// Dimension-specific accessors are guarded: calling a 2D accessor (At, Set,
+// Row, ...) on a 3D grid — or vice versa — panics with an explicit dimension
+// error instead of silently mis-indexing the flat slice.
 package grid
 
 import "fmt"
 
-// Grid is a square N×N grid of float64 values stored row-major.
-// The zero value is not usable; construct grids with New.
+// Grid is a square N×N (Dim 2) or cubic N×N×N (Dim 3) grid of float64
+// values stored in one flat slice. The zero value is not usable; construct
+// grids with New or New3.
 type Grid struct {
 	n    int
+	dim  int // 2 or 3
 	data []float64
 }
 
-// New returns a zero-filled n×n grid. It panics if n < 1.
+// New returns a zero-filled 2D n×n grid. It panics if n < 1.
 func New(n int) *Grid {
 	if n < 1 {
 		panic(fmt.Sprintf("grid: invalid size %d", n))
 	}
-	return &Grid{n: n, data: make([]float64, n*n)}
+	return &Grid{n: n, dim: 2, data: make([]float64, n*n)}
 }
 
-// FromSlice wraps an existing row-major slice of length n*n as a Grid.
+// New3 returns a zero-filled 3D n×n×n grid. It panics if n < 1.
+func New3(n int) *Grid {
+	if n < 1 {
+		panic(fmt.Sprintf("grid: invalid size %d", n))
+	}
+	return &Grid{n: n, dim: 3, data: make([]float64, n*n*n)}
+}
+
+// NewDim returns a zero-filled grid of the given dimension (2 or 3) and
+// side n, the constructor used by dimension-generic layers.
+func NewDim(dim, n int) *Grid {
+	switch dim {
+	case 2:
+		return New(n)
+	case 3:
+		return New3(n)
+	default:
+		panic(fmt.Sprintf("grid: invalid dimension %d (want 2 or 3)", dim))
+	}
+}
+
+// FromSlice wraps an existing row-major slice of length n*n as a 2D Grid.
 // The grid aliases data; mutations are visible both ways.
 func FromSlice(n int, data []float64) *Grid {
 	if len(data) != n*n {
 		panic(fmt.Sprintf("grid: FromSlice length %d != %d*%d", len(data), n, n))
 	}
-	return &Grid{n: n, data: data}
+	return &Grid{n: n, dim: 2, data: data}
 }
 
 // N returns the number of points per side.
 func (g *Grid) N() int { return g.n }
 
-// Data returns the backing row-major slice. The slice aliases the grid.
+// Dim returns the grid's spatial dimension (2 or 3).
+func (g *Grid) Dim() int { return g.dim }
+
+// Points returns the total number of grid points (N² or N³).
+func (g *Grid) Points() int { return len(g.data) }
+
+// Data returns the backing flat slice. The slice aliases the grid.
 func (g *Grid) Data() []float64 { return g.data }
 
-// At returns the value at row i, column j.
-func (g *Grid) At(i, j int) float64 { return g.data[i*g.n+j] }
+// mustDim panics unless the grid has the expected dimension — the explicit
+// guard that turns a mixed-dimension bug into an error instead of silent
+// index corruption.
+func (g *Grid) mustDim(want int, what string) {
+	if g.dim != want {
+		panic(fmt.Sprintf("grid: %s needs a %dD grid, got %dD (N=%d)", what, want, g.dim, g.n))
+	}
+}
 
-// Set stores v at row i, column j.
-func (g *Grid) Set(i, j int, v float64) { g.data[i*g.n+j] = v }
+// At returns the value at row i, column j (2D only).
+func (g *Grid) At(i, j int) float64 {
+	g.mustDim(2, "At")
+	return g.data[i*g.n+j]
+}
 
-// Row returns the i-th row as a sub-slice aliasing the grid.
-func (g *Grid) Row(i int) []float64 { return g.data[i*g.n : (i+1)*g.n] }
+// Set stores v at row i, column j (2D only).
+func (g *Grid) Set(i, j int, v float64) {
+	g.mustDim(2, "Set")
+	g.data[i*g.n+j] = v
+}
+
+// At3 returns the value at plane i, row j, column k (3D only).
+func (g *Grid) At3(i, j, k int) float64 {
+	g.mustDim(3, "At3")
+	return g.data[(i*g.n+j)*g.n+k]
+}
+
+// Set3 stores v at plane i, row j, column k (3D only).
+func (g *Grid) Set3(i, j, k int, v float64) {
+	g.mustDim(3, "Set3")
+	g.data[(i*g.n+j)*g.n+k] = v
+}
+
+// Row returns the i-th row as a sub-slice aliasing the grid (2D only).
+func (g *Grid) Row(i int) []float64 {
+	g.mustDim(2, "Row")
+	return g.data[i*g.n : (i+1)*g.n]
+}
+
+// Plane returns the i-th n×n plane as a sub-slice aliasing the grid
+// (3D only).
+func (g *Grid) Plane(i int) []float64 {
+	g.mustDim(3, "Plane")
+	n2 := g.n * g.n
+	return g.data[i*n2 : (i+1)*n2]
+}
+
+// Row3 returns row (i, j) of a 3D grid as a sub-slice aliasing the grid.
+func (g *Grid) Row3(i, j int) []float64 {
+	g.mustDim(3, "Row3")
+	base := (i*g.n + j) * g.n
+	return g.data[base : base+g.n]
+}
 
 // Clone returns a deep copy of g.
 func (g *Grid) Clone() *Grid {
-	c := New(g.n)
+	c := NewDim(g.dim, g.n)
 	copy(c.data, g.data)
 	return c
 }
 
-// CopyFrom overwrites g with the contents of src. Sizes must match.
+// CopyFrom overwrites g with the contents of src. Sizes and dimensions must
+// match.
 func (g *Grid) CopyFrom(src *Grid) {
-	if g.n != src.n {
-		panic(fmt.Sprintf("grid: CopyFrom size mismatch %d != %d", g.n, src.n))
+	if g.n != src.n || g.dim != src.dim {
+		panic(fmt.Sprintf("grid: CopyFrom mismatch %dD/%d != %dD/%d", g.dim, g.n, src.dim, src.n))
 	}
 	copy(g.data, src.data)
 }
@@ -76,6 +158,17 @@ func (g *Grid) Zero() { g.Fill(0) }
 // ZeroInterior zeroes all non-boundary entries, leaving the border intact.
 func (g *Grid) ZeroInterior() {
 	n := g.n
+	if g.dim == 3 {
+		for i := 1; i < n-1; i++ {
+			for j := 1; j < n-1; j++ {
+				row := g.Row3(i, j)
+				for k := 1; k < n-1; k++ {
+					row[k] = 0
+				}
+			}
+		}
+		return
+	}
 	for i := 1; i < n-1; i++ {
 		row := g.Row(i)
 		for j := 1; j < n-1; j++ {
@@ -84,40 +177,79 @@ func (g *Grid) ZeroInterior() {
 	}
 }
 
-// ZeroBoundary zeroes the border entries, leaving the interior intact.
-func (g *Grid) ZeroBoundary() {
-	n := g.n
-	top, bot := g.Row(0), g.Row(n-1)
+// zeroBoundary2 zeroes the border of one n×n plane stored at p.
+func zeroBoundary2(p []float64, n int) {
 	for j := 0; j < n; j++ {
-		top[j], bot[j] = 0, 0
+		p[j], p[(n-1)*n+j] = 0, 0
 	}
 	for i := 1; i < n-1; i++ {
-		g.data[i*n] = 0
-		g.data[i*n+n-1] = 0
+		p[i*n] = 0
+		p[i*n+n-1] = 0
+	}
+}
+
+// ZeroBoundary zeroes the border entries (the 2D frame or the six 3D
+// faces), leaving the interior intact.
+func (g *Grid) ZeroBoundary() {
+	n := g.n
+	if g.dim == 3 {
+		first, last := g.Plane(0), g.Plane(n-1)
+		for i := range first {
+			first[i], last[i] = 0, 0
+		}
+		for i := 1; i < n-1; i++ {
+			zeroBoundary2(g.Plane(i), n)
+		}
+		return
+	}
+	zeroBoundary2(g.data, n)
+}
+
+// copyBoundary2 copies the border of one n×n plane from src into dst.
+func copyBoundary2(dst, src []float64, n int) {
+	copy(dst[:n], src[:n])
+	copy(dst[(n-1)*n:], src[(n-1)*n:])
+	for i := 1; i < n-1; i++ {
+		dst[i*n] = src[i*n]
+		dst[i*n+n-1] = src[i*n+n-1]
 	}
 }
 
 // CopyBoundaryFrom copies only the border entries of src into g.
 func (g *Grid) CopyBoundaryFrom(src *Grid) {
-	if g.n != src.n {
+	if g.n != src.n || g.dim != src.dim {
 		panic("grid: CopyBoundaryFrom size mismatch")
 	}
 	n := g.n
-	copy(g.Row(0), src.Row(0))
-	copy(g.Row(n-1), src.Row(n-1))
-	for i := 1; i < n-1; i++ {
-		g.data[i*n] = src.data[i*n]
-		g.data[i*n+n-1] = src.data[i*n+n-1]
+	if g.dim == 3 {
+		copy(g.Plane(0), src.Plane(0))
+		copy(g.Plane(n-1), src.Plane(n-1))
+		for i := 1; i < n-1; i++ {
+			copyBoundary2(g.Plane(i), src.Plane(i), n)
+		}
+		return
 	}
+	copyBoundary2(g.data, src.data, n)
 }
 
 // AddInterior adds src's interior entries into g's interior, leaving
 // boundaries untouched. Used for coarse-grid correction.
 func (g *Grid) AddInterior(src *Grid) {
-	if g.n != src.n {
+	if g.n != src.n || g.dim != src.dim {
 		panic("grid: AddInterior size mismatch")
 	}
 	n := g.n
+	if g.dim == 3 {
+		for i := 1; i < n-1; i++ {
+			for j := 1; j < n-1; j++ {
+				gr, sr := g.Row3(i, j), src.Row3(i, j)
+				for k := 1; k < n-1; k++ {
+					gr[k] += sr[k]
+				}
+			}
+		}
+		return
+	}
 	for i := 1; i < n-1; i++ {
 		gr, sr := g.Row(i), src.Row(i)
 		for j := 1; j < n-1; j++ {

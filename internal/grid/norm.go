@@ -2,12 +2,29 @@ package grid
 
 import "math"
 
+// The norms branch explicitly on dimension (like ZeroInterior/AddInterior)
+// rather than folding through a per-point closure: they sit on the tuner's
+// measurement path, where an interior scan is millions of points and an
+// indirect call per point would dominate.
+
 // L2Interior returns the L2 norm of g over interior points only.
 // Boundary entries are excluded because Dirichlet boundaries are fixed and
 // carry no error.
 func L2Interior(g *Grid) float64 {
 	n := g.n
 	var sum float64
+	if g.dim == 3 {
+		for i := 1; i < n-1; i++ {
+			for j := 1; j < n-1; j++ {
+				row := g.Row3(i, j)
+				for k := 1; k < n-1; k++ {
+					v := row[k]
+					sum += v * v
+				}
+			}
+		}
+		return math.Sqrt(sum)
+	}
 	for i := 1; i < n-1; i++ {
 		row := g.Row(i)
 		for j := 1; j < n-1; j++ {
@@ -20,11 +37,23 @@ func L2Interior(g *Grid) float64 {
 
 // L2DiffInterior returns the L2 norm of (a − b) over interior points.
 func L2DiffInterior(a, b *Grid) float64 {
-	if a.n != b.n {
+	if a.n != b.n || a.dim != b.dim {
 		panic("grid: L2DiffInterior size mismatch")
 	}
 	n := a.n
 	var sum float64
+	if a.dim == 3 {
+		for i := 1; i < n-1; i++ {
+			for j := 1; j < n-1; j++ {
+				ar, br := a.Row3(i, j), b.Row3(i, j)
+				for k := 1; k < n-1; k++ {
+					d := ar[k] - br[k]
+					sum += d * d
+				}
+			}
+		}
+		return math.Sqrt(sum)
+	}
 	for i := 1; i < n-1; i++ {
 		ar, br := a.Row(i), b.Row(i)
 		for j := 1; j < n-1; j++ {
@@ -39,6 +68,19 @@ func L2DiffInterior(a, b *Grid) float64 {
 func MaxAbsInterior(g *Grid) float64 {
 	n := g.n
 	var m float64
+	if g.dim == 3 {
+		for i := 1; i < n-1; i++ {
+			for j := 1; j < n-1; j++ {
+				row := g.Row3(i, j)
+				for k := 1; k < n-1; k++ {
+					if v := math.Abs(row[k]); v > m {
+						m = v
+					}
+				}
+			}
+		}
+		return m
+	}
 	for i := 1; i < n-1; i++ {
 		row := g.Row(i)
 		for j := 1; j < n-1; j++ {

@@ -62,10 +62,32 @@ func FillRandom(g *Grid, d Distribution, rng *rand.Rand) {
 	}
 }
 
-// FillBoundaryRandom fills only the border of g with samples from d,
-// leaving the interior untouched.
+// FillBoundaryRandom fills only the border of g (the 2D frame or the six 3D
+// faces) with samples from d, leaving the interior untouched.
 func FillBoundaryRandom(g *Grid, d Distribution, rng *rand.Rand) {
 	n := g.N()
+	if g.Dim() == 3 {
+		// Walk only the boundary points, in lexicographic (i, j, k) order:
+		// the two full end planes, and per interior plane the first and last
+		// rows plus the two end columns of each interior row.
+		fillRow := func(row []float64) {
+			for k := range row {
+				row[k] = d.Sample(rng)
+			}
+		}
+		fillRow(g.Plane(0))
+		for i := 1; i < n-1; i++ {
+			fillRow(g.Row3(i, 0))
+			for j := 1; j < n-1; j++ {
+				row := g.Row3(i, j)
+				row[0] = d.Sample(rng)
+				row[n-1] = d.Sample(rng)
+			}
+			fillRow(g.Row3(i, n-1))
+		}
+		fillRow(g.Plane(n - 1))
+		return
+	}
 	for j := 0; j < n; j++ {
 		g.Set(0, j, d.Sample(rng))
 		g.Set(n-1, j, d.Sample(rng))
@@ -95,6 +117,10 @@ func fillPointSources(g *Grid, rng *rand.Rand) {
 		if rng.Intn(2) == 0 {
 			v = -v
 		}
-		g.Set(i, j, v)
+		if g.Dim() == 3 {
+			g.Set3(i, j, 1+rng.Intn(n-2), v)
+		} else {
+			g.Set(i, j, v)
+		}
 	}
 }

@@ -67,22 +67,23 @@ func (ws *Workspace) OmegaOpt(n int) float64 { return ws.opAt(n).OmegaOpt(n) }
 
 // levelBufs is the scratch set a cycle needs at one grid size n: the
 // residual and interpolation scratch at size n, and the coarse right-hand
-// side and coarse solution at size (n+1)/2. A levelBufs belongs to exactly
-// one cycle step at a time; concurrent solves check out distinct sets.
+// side and coarse solution at size (n+1)/2, all shaped to the workspace
+// operator's dimension. A levelBufs belongs to exactly one cycle step at a
+// time; concurrent solves check out distinct sets.
 type levelBufs struct {
 	n          int
 	r, scratch *grid.Grid
 	cb, cx     *grid.Grid
 }
 
-func newLevelBufs(n int) *levelBufs {
+func newLevelBufs(dim, n int) *levelBufs {
 	nc := grid.Coarsen(n)
 	return &levelBufs{
 		n:       n,
-		r:       grid.New(n),
-		scratch: grid.New(n),
-		cb:      grid.New(nc),
-		cx:      grid.New(nc),
+		r:       grid.NewDim(dim, n),
+		scratch: grid.NewDim(dim, n),
+		cb:      grid.NewDim(dim, nc),
+		cx:      grid.NewDim(dim, nc),
 	}
 }
 
@@ -103,7 +104,10 @@ func (ws *Workspace) checkout(n int) *levelBufs {
 		if grid.Level(n) < 2 {
 			panic(fmt.Sprintf("mg: no scratch buffers for size %d", n))
 		}
-		pi, _ = ws.arena.LoadOrStore(n, &sync.Pool{New: func() any { return newLevelBufs(n) }})
+		// One workspace serves one operator, so the arena's dimension is
+		// fixed at the operator's.
+		dim := ws.Operator().Dim()
+		pi, _ = ws.arena.LoadOrStore(n, &sync.Pool{New: func() any { return newLevelBufs(dim, n) }})
 	}
 	return pi.(*sync.Pool).Get().(*levelBufs)
 }

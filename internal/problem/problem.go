@@ -17,8 +17,9 @@ import (
 )
 
 // Problem is one instance of the discrete operator problem T·x = b on an
-// N×N grid over the unit square (mesh spacing H = 1/(N−1)) with Dirichlet
-// boundary values. Op selects the operator family; nil means the
+// N×N grid over the unit square — or an N×N×N grid over the unit cube for
+// 3D operator families — with mesh spacing H = 1/(N−1) and Dirichlet
+// boundary values. Op selects the operator family; nil means the 2D
 // constant-coefficient Poisson operator (see Operator).
 type Problem struct {
 	N        int
@@ -38,7 +39,9 @@ func Random(n int, dist grid.Distribution, rng *rand.Rand) *Problem {
 }
 
 // RandomOp draws a problem of side n for the given operator family (nil for
-// Poisson). Variable-coefficient operators must be discretized at size n.
+// 2D Poisson). The grids take their dimension from the operator: a 3D
+// operator yields n×n×n right-hand-side and boundary grids. Variable-
+// coefficient operators must be discretized at size n.
 func RandomOp(n int, dist grid.Distribution, rng *rand.Rand, op *stencil.Operator) *Problem {
 	if n < 3 {
 		panic(fmt.Sprintf("problem: side %d too small", n))
@@ -46,13 +49,17 @@ func RandomOp(n int, dist grid.Distribution, rng *rand.Rand, op *stencil.Operato
 	if op != nil && op.Coef() != nil && op.Coef().N() != n {
 		panic(fmt.Sprintf("problem: operator discretized at N=%d, problem side %d", op.Coef().N(), n))
 	}
+	dim := 2
+	if op != nil {
+		dim = op.Dim()
+	}
 	p := &Problem{
 		N:        n,
 		H:        1.0 / float64(n-1),
 		Dist:     dist,
 		Op:       op,
-		B:        grid.New(n),
-		Boundary: grid.New(n),
+		B:        grid.NewDim(dim, n),
+		Boundary: grid.NewDim(dim, n),
 	}
 	grid.FillRandom(p.B, dist, rng)
 	grid.FillBoundaryRandom(p.Boundary, dist, rng)

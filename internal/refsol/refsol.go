@@ -9,6 +9,7 @@ package refsol
 import (
 	"fmt"
 
+	"pbmg/internal/direct"
 	"pbmg/internal/grid"
 	"pbmg/internal/mg"
 	"pbmg/internal/problem"
@@ -16,9 +17,14 @@ import (
 	"pbmg/internal/stencil"
 )
 
-// DirectMaxN is the largest grid side solved directly; beyond it the
+// DirectMaxN is the largest 2D grid side solved directly; beyond it the
 // converged-multigrid path is used.
 const DirectMaxN = 129
+
+// DirectMaxN3D is the 3D counterpart: the band factorization's storage
+// grows like N⁵ (≈6 MB at N=17, ≈230 MB at N=33), so references switch to
+// converged multigrid much earlier than in 2D.
+const DirectMaxN3D = 17
 
 // relResidualTarget is the relative residual at which the multigrid
 // reference solve is declared converged. The residual amplifies rounding
@@ -46,8 +52,13 @@ const stalledResidualFactor = 100
 
 // stallFallbackMaxN caps the direct rescue of a stalled reference: at
 // N = 513 the band factorization costs ~1 GB and a minute, beyond that it
-// would silently hang or OOM, which is worse than failing loudly.
-const stallFallbackMaxN = 513
+// would silently hang or OOM, which is worse than failing loudly. The 3D
+// cap is the direct-solve cap itself (the O(N⁷) factorization is the
+// bottleneck, not accuracy).
+const (
+	stallFallbackMaxN   = 513
+	stallFallbackMaxN3D = direct.Direct3DMaxN
+)
 
 // Compute returns the reference solution of p without mutating it.
 func Compute(p *problem.Problem, pool *sched.Pool) *grid.Grid {
@@ -56,12 +67,16 @@ func Compute(p *problem.Problem, pool *sched.Pool) *grid.Grid {
 	ws.CacheDirectFactor = true
 	ws.Op = op
 	x := p.NewState()
-	if p.N <= DirectMaxN {
+	directMax := DirectMaxN
+	if op.Dim() == 3 {
+		directMax = DirectMaxN3D
+	}
+	if p.N <= directMax {
 		ws.SolveDirect(x, p.B, nil)
 		return x
 	}
 	cycles := maxRefCycles
-	if op.Family() != stencil.FamilyPoisson {
+	if op.Family() != stencil.FamilyPoisson && op.Family() != stencil.FamilyPoisson3D {
 		cycles = maxRefCyclesHard
 	}
 	scale := grid.L2Interior(p.B) + grid.MaxAbsInterior(p.Boundary) + 1
@@ -82,7 +97,11 @@ func Compute(p *problem.Problem, pool *sched.Pool) *grid.Grid {
 		// (Falling a few cycles short of the aspirational target is fine and
 		// does not trigger this: the direct solve's own rounding floor at
 		// these sizes is no better.)
-		if p.N > stallFallbackMaxN {
+		fallbackMax := stallFallbackMaxN
+		if op.Dim() == 3 {
+			fallbackMax = stallFallbackMaxN3D
+		}
+		if p.N > fallbackMax {
 			panic(fmt.Sprintf(
 				"refsol: reference for %v at N=%d stalled after %d cycles and is too large to solve directly; reduce the problem size or use a milder operator parameter",
 				op, p.N, cycles))

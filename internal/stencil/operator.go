@@ -13,6 +13,11 @@
 //     c(x, y), discretized with harmonic-free arithmetic face averages
 //     c_face = (c_node + c_neighbour)/2 — the standard cell-face scheme that
 //     keeps the operator symmetric positive definite.
+//   - FamilyPoisson3D: T = −∇² on an N×N×N cube with the 7-point stencil —
+//     the paper's headline scaling case. Kernels dispatch to the plane-
+//     parallel free functions of stencil3d.go. Operators know their spatial
+//     dimension (Dim); mixing a 3D operator with 2D grids (or vice versa)
+//     fails loudly in the grid accessors.
 //
 // Coarse-grid re-discretization: Coarse() returns the operator for the next
 // multigrid level. Constant-coefficient families are scale-invariant and
@@ -43,6 +48,9 @@ const (
 	FamilyAnisotropic
 	// FamilyVarCoef is −∇·(c∇u) with a positive nodal coefficient field.
 	FamilyVarCoef
+	// FamilyPoisson3D is the constant-coefficient 3D Laplacian −∇² on a
+	// cube, discretized with the 7-point stencil.
+	FamilyPoisson3D
 )
 
 // String returns the canonical family name used in configuration files and
@@ -55,9 +63,19 @@ func (f Family) String() string {
 		return "aniso"
 	case FamilyVarCoef:
 		return "varcoef"
+	case FamilyPoisson3D:
+		return "poisson3d"
 	default:
 		return fmt.Sprintf("Family(%d)", uint8(f))
 	}
+}
+
+// Dim returns the family's spatial dimension (2 or 3).
+func (f Family) Dim() int {
+	if f == FamilyPoisson3D {
+		return 3
+	}
+	return 2
 }
 
 // ParseFamily parses a family name (as produced by String, with a few
@@ -70,8 +88,10 @@ func ParseFamily(s string) (Family, error) {
 		return FamilyAnisotropic, nil
 	case "varcoef", "variable", "variable-coefficient":
 		return FamilyVarCoef, nil
+	case "poisson3d", "poisson-3d", "laplace3d", "3d":
+		return FamilyPoisson3D, nil
 	default:
-		return 0, fmt.Errorf("stencil: unknown operator family %q (want poisson, aniso, or varcoef)", s)
+		return 0, fmt.Errorf("stencil: unknown operator family %q (want poisson, aniso, varcoef, or poisson3d)", s)
 	}
 }
 
@@ -97,6 +117,12 @@ var poissonOp = &Operator{family: FamilyPoisson, eps: 1}
 // Poisson returns the constant-coefficient Laplacian operator. The returned
 // value is shared; it is valid at every grid size.
 func Poisson() *Operator { return poissonOp }
+
+var poisson3dOp = &Operator{family: FamilyPoisson3D, eps: 1}
+
+// Poisson3D returns the constant-coefficient 3D Laplacian operator. The
+// returned value is shared; it is valid at every grid size.
+func Poisson3D() *Operator { return poisson3dOp }
 
 // Anisotropic returns the operator −(ε·∂²/∂x² + ∂²/∂y²). ε must be positive;
 // ε = 1 is the Laplacian (kept under its own family label). Valid at every
@@ -148,6 +174,8 @@ func NewOperator(f Family, eps float64, n int) (*Operator, error) {
 	switch f {
 	case FamilyPoisson:
 		return Poisson(), nil
+	case FamilyPoisson3D:
+		return Poisson3D(), nil
 	case FamilyAnisotropic:
 		if !(eps > 0) || math.IsInf(eps, 1) {
 			return nil, fmt.Errorf("stencil: anisotropy ε must be positive and finite, got %v", eps)
@@ -169,6 +197,11 @@ func NewOperator(f Family, eps float64, n int) (*Operator, error) {
 // Family returns the operator's family.
 func (op *Operator) Family() Family { return op.family }
 
+// Dim returns the operator's spatial dimension (2 or 3). Every layer above
+// the kernels — workspaces, problems, reference solutions, tuning — derives
+// its grid shapes from this value.
+func (op *Operator) Dim() int { return op.family.Dim() }
+
 // Eps returns the family parameter (ε or σ; 1 for Poisson).
 func (op *Operator) Eps() float64 { return op.eps }
 
@@ -181,6 +214,8 @@ func (op *Operator) String() string {
 	switch op.family {
 	case FamilyPoisson:
 		return "poisson"
+	case FamilyPoisson3D:
+		return "poisson3d"
 	case FamilyAnisotropic:
 		return fmt.Sprintf("aniso(eps=%g)", op.eps)
 	default:
@@ -226,13 +261,16 @@ func (op *Operator) At(n int) *Operator {
 // FaceCoefs returns the four face coefficients of the 5-point stencil at
 // grid point (i, j): north (toward row i−1), south (row i+1), west (column
 // j−1), east (column j+1). The center coefficient is their sum. (i, j) must
-// be an interior point for variable-coefficient operators.
+// be an interior point for variable-coefficient operators. FaceCoefs is
+// 2D-only; 3D operators have the constant 7-point stencil and panic here.
 func (op *Operator) FaceCoefs(i, j int) (cn, cs, cw, ce float64) {
 	switch op.family {
 	case FamilyPoisson:
 		return 1, 1, 1, 1
 	case FamilyAnisotropic:
 		return 1, 1, op.eps, op.eps
+	case FamilyPoisson3D:
+		panic("stencil: FaceCoefs is 2D-only; poisson3d has the constant 7-point stencil")
 	default:
 		c := op.coef
 		cc := c.At(i, j)
@@ -247,7 +285,9 @@ func (op *Operator) FaceCoefs(i, j int) (cn, cs, cw, ce float64) {
 // For the Laplacian this is ω* = 2/(1 + sin(πh)) (Demmel §6.5.5). The same
 // formula is exact for the anisotropic family: the Jacobi iteration matrix
 // has eigenvalues (ε·cos(kπh) + cos(lπh))/(1 + ε), whose spectral radius
-// cos(πh) does not depend on ε, so Young's ω* is unchanged. For smooth
+// cos(πh) does not depend on ε, so Young's ω* is unchanged. It is also
+// exact for the 3D Laplacian: the Jacobi eigenvalues average one cosine per
+// axis, so the spectral radius is cos(πh) in any dimension. For smooth
 // variable-coefficient fields there is no closed form; the Laplacian value
 // is the standard heuristic (red-black SOR on an SPD operator converges for
 // any ω ∈ (0, 2), so the choice affects speed, not correctness).
@@ -294,6 +334,8 @@ func (op *Operator) SORSweepRB(pool *sched.Pool, x, b *grid.Grid, h, omega float
 	switch op.family {
 	case FamilyPoisson:
 		SORSweepRB(pool, x, b, h, omega)
+	case FamilyPoisson3D:
+		sorSweepRB3(pool, x, b, h, omega)
 	case FamilyAnisotropic:
 		sorSweepRBConst(pool, x, b, h, omega, op.eps, 1)
 	default:
@@ -310,6 +352,10 @@ func (op *Operator) SORSweepRB(pool *sched.Pool, x, b *grid.Grid, h, omega float
 func (op *Operator) GaussSeidelSweep(x, b *grid.Grid, h float64) {
 	if op.family == FamilyPoisson {
 		GaussSeidelSweep(x, b, h)
+		return
+	}
+	if op.family == FamilyPoisson3D {
+		gaussSeidel3(x, b, h)
 		return
 	}
 	op.checkSize(x.N())
@@ -333,6 +379,9 @@ func (op *Operator) JacobiSweep(pool *sched.Pool, out, x, b *grid.Grid, h, w flo
 	switch op.family {
 	case FamilyPoisson:
 		JacobiSweep(pool, out, x, b, h, w)
+		return
+	case FamilyPoisson3D:
+		jacobiSweep3(pool, out, x, b, h, w)
 		return
 	case FamilyAnisotropic:
 		jacobiSweepConst(pool, out, x, b, h, w, op.eps, 1)
@@ -394,6 +443,8 @@ func (op *Operator) Residual(pool *sched.Pool, r, x, b *grid.Grid, h float64) {
 	switch op.family {
 	case FamilyPoisson:
 		Residual(pool, r, x, b, h)
+	case FamilyPoisson3D:
+		residual3(pool, r, x, b, h)
 	case FamilyAnisotropic:
 		residualConst(pool, r, x, b, h, op.eps, 1)
 	default:
@@ -408,6 +459,9 @@ func (op *Operator) Apply(pool *sched.Pool, y, x *grid.Grid, h float64) {
 	switch op.family {
 	case FamilyPoisson:
 		Apply(pool, y, x, h)
+		return
+	case FamilyPoisson3D:
+		apply3(pool, y, x, h)
 		return
 	case FamilyAnisotropic:
 		applyConst(pool, y, x, h, op.eps, 1)
@@ -463,6 +517,8 @@ func (op *Operator) ResidualNorm(x, b *grid.Grid, h float64) float64 {
 	switch op.family {
 	case FamilyPoisson:
 		return ResidualNorm(x, b, h)
+	case FamilyPoisson3D:
+		return residualNorm3(x, b, h)
 	case FamilyAnisotropic:
 		return residualNormConst(x, b, h, op.eps, 1)
 	}

@@ -1,0 +1,176 @@
+// 7-point finite-difference kernels for the 3D Poisson equation T x = b
+// with T = −∇² and Dirichlet boundaries on an N×N×N cube:
+//
+//	(6·x[i,j,k] − x[i±1,j,k] − x[i,j±1,k] − x[i,j,k±1]) / h² = b[i,j,k]
+//
+// These are the paper's headline scaling case: the same building blocks as
+// the 2D 5-point kernels (red-black SOR, weighted Jacobi, residual, apply),
+// parallelized over planes instead of rows. Red-black coloring by
+// (i+j+k) parity keeps every update within a half-sweep independent, so
+// parallel execution is bit-identical to serial execution — the same
+// contract the 2D kernels guarantee.
+package stencil
+
+import (
+	"math"
+
+	"pbmg/internal/grid"
+	"pbmg/internal/sched"
+)
+
+// parallelPlanes runs body over interior planes [1, n-1), in parallel when
+// pool is non-nil and the cube is large enough to amortize task overhead.
+// The threshold is lower than the 2D row threshold because each plane
+// carries N² points of work.
+func parallelPlanes(pool *sched.Pool, n int, body func(lo, hi int)) {
+	const threshold = 32 // planes; below this, task overhead dominates
+	if pool == nil || pool.Workers() == 1 || n < threshold {
+		body(1, n-1)
+		return
+	}
+	pool.ParallelFor(1, n-1, 0, body)
+}
+
+// sorSweepRB3 performs one full red-black SOR sweep (red half-sweep then
+// black half-sweep) in place on x with relaxation weight omega. Points are
+// colored by (i+j+k) parity; within a color all updates are independent, so
+// the sweep parallelizes deterministically over planes.
+func sorSweepRB3(pool *sched.Pool, x, b *grid.Grid, h, omega float64) {
+	n := x.N()
+	h2 := h * h
+	for color := 0; color <= 1; color++ {
+		parallelPlanes(pool, n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				for j := 1; j < n-1; j++ {
+					xr := x.Row3(i, j)
+					up := x.Row3(i-1, j)
+					down := x.Row3(i+1, j)
+					north := x.Row3(i, j-1)
+					south := x.Row3(i, j+1)
+					br := b.Row3(i, j)
+					k0 := 1 + (i+j+1+color)%2
+					for k := k0; k < n-1; k += 2 {
+						gs := (up[k] + down[k] + north[k] + south[k] + xr[k-1] + xr[k+1] + h2*br[k]) * (1.0 / 6.0)
+						xr[k] += omega * (gs - xr[k])
+					}
+				}
+			}
+		})
+	}
+}
+
+// gaussSeidel3 performs one lexicographic Gauss-Seidel sweep in place. Like
+// its 2D counterpart it is inherently sequential and provided for comparison
+// and testing; the solve path smooths with red-black SOR.
+func gaussSeidel3(x, b *grid.Grid, h float64) {
+	n := x.N()
+	h2 := h * h
+	for i := 1; i < n-1; i++ {
+		for j := 1; j < n-1; j++ {
+			xr := x.Row3(i, j)
+			up := x.Row3(i-1, j)
+			down := x.Row3(i+1, j)
+			north := x.Row3(i, j-1)
+			south := x.Row3(i, j+1)
+			br := b.Row3(i, j)
+			for k := 1; k < n-1; k++ {
+				xr[k] = (up[k] + down[k] + north[k] + south[k] + xr[k-1] + xr[k+1] + h2*br[k]) * (1.0 / 6.0)
+			}
+		}
+	}
+}
+
+// jacobiSweep3 performs one weighted-Jacobi sweep with weight w, reading
+// from x and writing the relaxed iterate into out (boundary copied from x).
+// out must not alias x.
+func jacobiSweep3(pool *sched.Pool, out, x, b *grid.Grid, h, w float64) {
+	n := x.N()
+	h2 := h * h
+	out.CopyBoundaryFrom(x)
+	parallelPlanes(pool, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for j := 1; j < n-1; j++ {
+				or := out.Row3(i, j)
+				xr := x.Row3(i, j)
+				up := x.Row3(i-1, j)
+				down := x.Row3(i+1, j)
+				north := x.Row3(i, j-1)
+				south := x.Row3(i, j+1)
+				br := b.Row3(i, j)
+				for k := 1; k < n-1; k++ {
+					jac := (up[k] + down[k] + north[k] + south[k] + xr[k-1] + xr[k+1] + h2*br[k]) * (1.0 / 6.0)
+					or[k] = xr[k] + w*(jac-xr[k])
+				}
+			}
+		}
+	})
+}
+
+// residual3 computes r = b − T·x on interior points and zeroes r's boundary.
+// r must not alias x or b.
+func residual3(pool *sched.Pool, r, x, b *grid.Grid, h float64) {
+	n := x.N()
+	inv := 1 / (h * h)
+	r.ZeroBoundary()
+	parallelPlanes(pool, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for j := 1; j < n-1; j++ {
+				rr := r.Row3(i, j)
+				xr := x.Row3(i, j)
+				up := x.Row3(i-1, j)
+				down := x.Row3(i+1, j)
+				north := x.Row3(i, j-1)
+				south := x.Row3(i, j+1)
+				br := b.Row3(i, j)
+				for k := 1; k < n-1; k++ {
+					rr[k] = br[k] - (6*xr[k]-up[k]-down[k]-north[k]-south[k]-xr[k-1]-xr[k+1])*inv
+				}
+			}
+		}
+	})
+}
+
+// apply3 computes y = T·x on interior points and zeroes y's boundary.
+// y must not alias x.
+func apply3(pool *sched.Pool, y, x *grid.Grid, h float64) {
+	n := x.N()
+	inv := 1 / (h * h)
+	y.ZeroBoundary()
+	parallelPlanes(pool, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for j := 1; j < n-1; j++ {
+				yr := y.Row3(i, j)
+				xr := x.Row3(i, j)
+				up := x.Row3(i-1, j)
+				down := x.Row3(i+1, j)
+				north := x.Row3(i, j-1)
+				south := x.Row3(i, j+1)
+				for k := 1; k < n-1; k++ {
+					yr[k] = (6*xr[k] - up[k] - down[k] - north[k] - south[k] - xr[k-1] - xr[k+1]) * inv
+				}
+			}
+		}
+	})
+}
+
+// residualNorm3 returns ‖b − T·x‖₂ over interior points without allocating.
+func residualNorm3(x, b *grid.Grid, h float64) float64 {
+	n := x.N()
+	inv := 1 / (h * h)
+	var sum float64
+	for i := 1; i < n-1; i++ {
+		for j := 1; j < n-1; j++ {
+			xr := x.Row3(i, j)
+			up := x.Row3(i-1, j)
+			down := x.Row3(i+1, j)
+			north := x.Row3(i, j-1)
+			south := x.Row3(i, j+1)
+			br := b.Row3(i, j)
+			for k := 1; k < n-1; k++ {
+				r := br[k] - (6*xr[k]-up[k]-down[k]-north[k]-south[k]-xr[k-1]-xr[k+1])*inv
+				sum += r * r
+			}
+		}
+	}
+	return math.Sqrt(sum)
+}

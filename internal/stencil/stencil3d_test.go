@@ -1,0 +1,204 @@
+package stencil
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pbmg/internal/grid"
+	"pbmg/internal/sched"
+)
+
+// randomState3 returns random 3D x and b grids with entries in [−1, 1].
+func randomState3(n int, rng *rand.Rand) (x, b *grid.Grid) {
+	x, b = grid.New3(n), grid.New3(n)
+	xd, bd := x.Data(), b.Data()
+	for i := range xd {
+		xd[i] = rng.Float64()*2 - 1
+		bd[i] = rng.Float64()*2 - 1
+	}
+	return x, b
+}
+
+// TestApply3MatchesManualStencil: the 3D apply kernel is the literal
+// 7-point formula.
+func TestApply3MatchesManualStencil(t *testing.T) {
+	n := 9
+	rng := rand.New(rand.NewSource(1))
+	x, _ := randomState3(n, rng)
+	h := 1.0 / float64(n-1)
+	y := grid.New3(n)
+	Poisson3D().Apply(nil, y, x, h)
+	inv := 1 / (h * h)
+	for i := 1; i < n-1; i++ {
+		for j := 1; j < n-1; j++ {
+			for k := 1; k < n-1; k++ {
+				want := (6*x.At3(i, j, k) -
+					x.At3(i-1, j, k) - x.At3(i+1, j, k) -
+					x.At3(i, j-1, k) - x.At3(i, j+1, k) -
+					x.At3(i, j, k-1) - x.At3(i, j, k+1)) * inv
+				if got := y.At3(i, j, k); math.Abs(got-want) > 1e-12*math.Max(1, math.Abs(want)) {
+					t.Fatalf("apply3(%d,%d,%d) = %v, want %v", i, j, k, got, want)
+				}
+			}
+		}
+	}
+	if y.At3(0, 4, 4) != 0 {
+		t.Fatal("apply3 did not zero the boundary")
+	}
+}
+
+// TestResidual3ConsistentWithApply3: r = b − T·x.
+func TestResidual3ConsistentWithApply3(t *testing.T) {
+	n := 9
+	rng := rand.New(rand.NewSource(2))
+	x, b := randomState3(n, rng)
+	h := 1.0 / float64(n-1)
+	op := Poisson3D()
+	r, y := grid.New3(n), grid.New3(n)
+	op.Residual(nil, r, x, b, h)
+	op.Apply(nil, y, x, h)
+	for i := 1; i < n-1; i++ {
+		for j := 1; j < n-1; j++ {
+			for k := 1; k < n-1; k++ {
+				want := b.At3(i, j, k) - y.At3(i, j, k)
+				if got := r.At3(i, j, k); math.Abs(got-want) > 1e-10*math.Max(1, math.Abs(want)) {
+					t.Fatalf("residual(%d,%d,%d) = %v, want %v", i, j, k, got, want)
+				}
+			}
+		}
+	}
+	// The norm helper summarizes the same residual.
+	var sum float64
+	rd := r.Data()
+	for i := range rd {
+		sum += rd[i] * rd[i]
+	}
+	if norm := op.ResidualNorm(x, b, h); math.Abs(norm-math.Sqrt(sum)) > 1e-9*math.Max(1, norm) {
+		t.Fatalf("ResidualNorm %v != ‖r‖ %v", norm, math.Sqrt(sum))
+	}
+}
+
+// TestSOR3Converges: iterated red-black SOR with ω_opt drives the residual
+// of a small 3D problem toward zero.
+func TestSOR3Converges(t *testing.T) {
+	n := 17
+	rng := rand.New(rand.NewSource(3))
+	op := Poisson3D()
+	x, b := randomState3(n, rng)
+	x.ZeroInterior() // boundary data + zero interior guess
+	h := 1.0 / float64(n-1)
+	r0 := op.ResidualNorm(x, b, h)
+	omega := op.OmegaOpt(n)
+	for s := 0; s < 200; s++ {
+		op.SORSweepRB(nil, x, b, h, omega)
+	}
+	if r := op.ResidualNorm(x, b, h); r > 1e-8*r0 {
+		t.Fatalf("SOR stalled: residual %v of initial %v", r, r0)
+	}
+}
+
+// TestJacobi3ReducesResidual: one damped-Jacobi sweep must not diverge and
+// a few sweeps reduce the residual.
+func TestJacobi3ReducesResidual(t *testing.T) {
+	n := 9
+	rng := rand.New(rand.NewSource(4))
+	op := Poisson3D()
+	x, b := randomState3(n, rng)
+	x.ZeroInterior()
+	h := 1.0 / float64(n-1)
+	r0 := op.ResidualNorm(x, b, h)
+	tmp := grid.New3(n)
+	for s := 0; s < 50; s++ {
+		op.JacobiSweep(nil, tmp, x, b, h, 2.0/3.0)
+		x.CopyFrom(tmp)
+	}
+	if r := op.ResidualNorm(x, b, h); r > 0.5*r0 {
+		t.Fatalf("Jacobi did not reduce the residual: %v of %v", r, r0)
+	}
+}
+
+// TestSweep3ParallelMatchesSerial: at N=33 (above the 32-plane threshold)
+// the pooled kernels must be bit-identical to serial execution.
+func TestSweep3ParallelMatchesSerial(t *testing.T) {
+	pool := sched.NewPool(4)
+	defer pool.Close()
+	n := 33
+	rng := rand.New(rand.NewSource(5))
+	op := Poisson3D()
+	x0, b := randomState3(n, rng)
+	h := 1.0 / float64(n-1)
+
+	xs, xp := x0.Clone(), x0.Clone()
+	for s := 0; s < 3; s++ {
+		op.SORSweepRB(nil, xs, b, h, 1.3)
+		op.SORSweepRB(pool, xp, b, h, 1.3)
+	}
+	assertBitIdentical(t, xs, xp, "SOR3")
+
+	js, jp := grid.New3(n), grid.New3(n)
+	op.JacobiSweep(nil, js, xs, b, h, 2.0/3.0)
+	op.JacobiSweep(pool, jp, xs, b, h, 2.0/3.0)
+	assertBitIdentical(t, js, jp, "Jacobi3")
+
+	rs, rp := grid.New3(n), grid.New3(n)
+	op.Residual(nil, rs, xs, b, h)
+	op.Residual(pool, rp, xs, b, h)
+	assertBitIdentical(t, rs, rp, "Residual3")
+
+	as, ap := grid.New3(n), grid.New3(n)
+	op.Apply(nil, as, xs, h)
+	op.Apply(pool, ap, xs, h)
+	assertBitIdentical(t, as, ap, "Apply3")
+}
+
+// TestGaussSeidel3Smooths: the lexicographic sweep solves the trivial n=3
+// problem (one unknown) exactly in one pass.
+func TestGaussSeidel3Smooths(t *testing.T) {
+	n := 3
+	x, b := grid.New3(n), grid.New3(n)
+	b.Set3(1, 1, 1, 6.0)
+	h := 0.5
+	Poisson3D().GaussSeidelSweep(x, b, h)
+	// 6·x/h² = 6 with zero neighbours → x = h² = 0.25.
+	if got := x.At3(1, 1, 1); math.Abs(got-0.25) > 1e-15 {
+		t.Fatalf("GS3 solved x = %v, want 0.25", got)
+	}
+}
+
+// TestFamilyPoisson3DMeta covers the enum surface.
+func TestFamilyPoisson3DMeta(t *testing.T) {
+	if FamilyPoisson3D.String() != "poisson3d" || FamilyPoisson3D.Dim() != 3 {
+		t.Fatal("FamilyPoisson3D metadata wrong")
+	}
+	if FamilyPoisson.Dim() != 2 || FamilyVarCoef.Dim() != 2 {
+		t.Fatal("2D families must report Dim 2")
+	}
+	for _, alias := range []string{"poisson3d", "poisson-3d", "3d", "POISSON3D"} {
+		f, err := ParseFamily(alias)
+		if err != nil || f != FamilyPoisson3D {
+			t.Fatalf("ParseFamily(%q) = %v, %v", alias, f, err)
+		}
+	}
+	op, err := NewOperator(FamilyPoisson3D, 0, 33)
+	if err != nil || op != Poisson3D() || op.Dim() != 3 {
+		t.Fatalf("NewOperator(poisson3d) = %v, %v", op, err)
+	}
+	if op.At(17) != op {
+		t.Fatal("constant-coefficient 3D operator must be size-independent")
+	}
+	if op.Coarse() != op {
+		t.Fatal("constant-coefficient 3D operator must coarsen to itself")
+	}
+}
+
+// TestFaceCoefsRejects3D: the 2D-only face-coefficient accessor fails
+// loudly for 3D operators.
+func TestFaceCoefsRejects3D(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FaceCoefs accepted a 3D operator")
+		}
+	}()
+	Poisson3D().FaceCoefs(1, 1)
+}

@@ -1,12 +1,15 @@
 // Package transfer implements the inter-grid operators used by multigrid:
-// full-weighting restriction (fine → coarse) and bilinear interpolation
-// (coarse → fine). Grids move between sizes N = 2^k + 1 and N' = 2^(k−1)+1;
-// coarse point (I, J) sits on top of fine point (2I, 2J).
+// full-weighting restriction (fine → coarse) and bilinear (2D) / trilinear
+// (3D) interpolation (coarse → fine). Grids move between sizes N = 2^k + 1
+// and N' = 2^(k−1)+1; coarse point (I, J[, K]) sits on top of fine point
+// (2I, 2J[, 2K]). The public entry points dispatch on Grid.Dim, so cycle
+// code is dimension-generic; 2D-only operators (RestrictCoef) reject 3D
+// grids with an explicit error instead of silently mis-indexing.
 //
 // Both operators treat boundaries as homogeneous Dirichlet: multigrid
 // applies them to residual/correction grids, whose boundary error is zero.
-// Full weighting is (1/4)·Pᵀ where P is bilinear interpolation, the classic
-// variationally-consistent pairing.
+// Full weighting is (1/2^d)·Pᵀ where P is the d-linear interpolation, the
+// classic variationally-consistent pairing in both dimensions.
 package transfer
 
 import (
@@ -16,19 +19,36 @@ import (
 	"pbmg/internal/sched"
 )
 
-const parallelThreshold = 128 // coarse rows below this run serially
+const (
+	parallelThreshold   = 128 // coarse rows below this run serially (2D)
+	parallelThreshold3D = 32  // coarse planes below this run serially (3D)
+)
 
-// Restrict applies full-weighting restriction of the fine grid into coarse:
-//
-//	c[I,J] = (4·f[2I,2J] + 2·(N,S,E,W neighbours) + corner neighbours) / 16
-//
-// for interior coarse points; the coarse boundary is zeroed. Sizes must be
-// consecutive multigrid levels.
-func Restrict(pool *sched.Pool, coarse, fine *grid.Grid) {
+func checkLevels(coarse, fine *grid.Grid, what string) {
 	nc, nf := coarse.N(), fine.N()
 	if nf != 2*nc-1 {
-		panic(fmt.Sprintf("transfer: Restrict size mismatch fine=%d coarse=%d", nf, nc))
+		panic(fmt.Sprintf("transfer: %s size mismatch fine=%d coarse=%d", what, nf, nc))
 	}
+	if coarse.Dim() != fine.Dim() {
+		panic(fmt.Sprintf("transfer: %s dimension mismatch fine=%dD coarse=%dD", what, fine.Dim(), coarse.Dim()))
+	}
+}
+
+// Restrict applies full-weighting restriction of the fine grid into coarse
+// for interior coarse points; the coarse boundary is zeroed. Sizes must be
+// consecutive multigrid levels and dimensions must match. In 2D:
+//
+//	c[I,J] = (4·f[2I,2J] + 2·(edge neighbours) + corner neighbours) / 16
+//
+// In 3D the weights are the tensor-product extension (8 center, 4 face,
+// 2 edge, 1 corner, /64).
+func Restrict(pool *sched.Pool, coarse, fine *grid.Grid) {
+	checkLevels(coarse, fine, "Restrict")
+	if fine.Dim() == 3 {
+		restrict3(pool, coarse, fine)
+		return
+	}
+	nc := coarse.N()
 	coarse.ZeroBoundary()
 	body := func(lo, hi int) {
 		for ci := lo; ci < hi; ci++ {
@@ -52,15 +72,66 @@ func Restrict(pool *sched.Pool, coarse, fine *grid.Grid) {
 	pool.ParallelFor(1, nc-1, 0, body)
 }
 
-// Interpolate applies bilinear interpolation of the coarse grid into fine:
-// coincident fine points copy the coarse value, edge points average two
-// coarse neighbours, and cell centers average four. The fine boundary is
-// zeroed (corrections carry no boundary error).
-func Interpolate(pool *sched.Pool, fine, coarse *grid.Grid) {
-	nc, nf := coarse.N(), fine.N()
-	if nf != 2*nc-1 {
-		panic(fmt.Sprintf("transfer: Interpolate size mismatch fine=%d coarse=%d", nf, nc))
+// restrict3 is 3D full weighting: the tensor product of the 1D stencil
+// [1/4, 1/2, 1/4], giving weight 8 to the coincident fine point, 4 to its 6
+// face neighbours, 2 to its 12 edge neighbours, and 1 to its 8 corner
+// neighbours, normalized by 64. Parallel chunks own disjoint coarse planes.
+func restrict3(pool *sched.Pool, coarse, fine *grid.Grid) {
+	nc := coarse.N()
+	coarse.ZeroBoundary()
+	body := func(lo, hi int) {
+		for ci := lo; ci < hi; ci++ {
+			fi := 2 * ci
+			for cj := 1; cj < nc-1; cj++ {
+				fj := 2 * cj
+				cr := coarse.Row3(ci, cj)
+				// The nine fine rows surrounding (fi, fj): plane offset di,
+				// row offset dj.
+				var rows [3][3][]float64
+				for di := -1; di <= 1; di++ {
+					for dj := -1; dj <= 1; dj++ {
+						rows[di+1][dj+1] = fine.Row3(fi+di, fj+dj)
+					}
+				}
+				for ck := 1; ck < nc-1; ck++ {
+					fk := 2 * ck
+					var sum float64
+					for di := 0; di < 3; di++ {
+						for dj := 0; dj < 3; dj++ {
+							r := rows[di][dj]
+							// 1D weights: 2 at offset 0, 1 at ±1; the product
+							// of the three axis weights is the 3D weight.
+							w := float64(weight1D[di] * weight1D[dj])
+							sum += w * (2*r[fk] + r[fk-1] + r[fk+1])
+						}
+					}
+					cr[ck] = sum * (1.0 / 64.0)
+				}
+			}
+		}
 	}
+	if pool == nil || pool.Workers() == 1 || nc < parallelThreshold3D {
+		body(1, nc-1)
+		return
+	}
+	pool.ParallelFor(1, nc-1, 0, body)
+}
+
+// weight1D is the unnormalized 1D full-weighting stencil [1, 2, 1] indexed
+// by offset+1.
+var weight1D = [3]int{1, 2, 1}
+
+// Interpolate applies bilinear (2D) or trilinear (3D) interpolation of the
+// coarse grid into fine: coincident fine points copy the coarse value and
+// in-between points average their 2, 4, or 8 coarse neighbours. The fine
+// boundary is zeroed (corrections carry no boundary error).
+func Interpolate(pool *sched.Pool, fine, coarse *grid.Grid) {
+	checkLevels(coarse, fine, "Interpolate")
+	if fine.Dim() == 3 {
+		interpolate3(pool, fine, coarse)
+		return
+	}
+	nc, nf := coarse.N(), fine.N()
 	fine.ZeroBoundary()
 	// Each coarse row ci owns fine rows 2ci and 2ci+1 (the latter only when
 	// a coarse row ci+1 exists), so parallel chunks write disjoint rows.
@@ -98,6 +169,79 @@ func Interpolate(pool *sched.Pool, fine, coarse *grid.Grid) {
 	fine.ZeroBoundary()
 }
 
+// interpolate3 is trilinear interpolation. Each coarse plane ci owns fine
+// planes 2ci and 2ci+1 (the latter only when plane ci+1 exists), so parallel
+// chunks write disjoint planes. Within a plane the 2D bilinear pattern
+// applies; odd fine planes average the two surrounding even fine planes'
+// interpolants, computed directly from the coarse values.
+func interpolate3(pool *sched.Pool, fine, coarse *grid.Grid) {
+	nc, nf := coarse.N(), fine.N()
+	fine.ZeroBoundary()
+	// evenRow writes a fine row above a coarse row (copy / 2-point average);
+	// oddRow writes a fine row between two coarse rows (2- and 4-point
+	// averages). Odd fine planes average the evenRow/oddRow interpolants of
+	// the two surrounding coarse planes.
+	evenRow := func(fr, cr []float64) {
+		for cj := 0; cj < nc-1; cj++ {
+			fj := 2 * cj
+			fr[fj] = cr[cj]
+			fr[fj+1] = 0.5 * (cr[cj] + cr[cj+1])
+		}
+		fr[nf-1] = cr[nc-1]
+	}
+	oddRow := func(fr, cr, next []float64) {
+		for cj := 0; cj < nc-1; cj++ {
+			fj := 2 * cj
+			fr[fj] = 0.5 * (cr[cj] + next[cj])
+			fr[fj+1] = 0.25 * (cr[cj] + cr[cj+1] + next[cj] + next[cj+1])
+		}
+		fr[nf-1] = 0.5 * (cr[nc-1] + next[nc-1])
+	}
+	body := func(lo, hi int) {
+		// Per-chunk scratch rows for the odd-plane averages.
+		row := make([]float64, nf)
+		rowNext := make([]float64, nf)
+		average := func(dst, a, b []float64) {
+			for k := range dst {
+				dst[k] = 0.5 * (a[k] + b[k])
+			}
+		}
+		for ci := lo; ci < hi; ci++ {
+			fi := 2 * ci
+			// Even fine plane: the 2D bilinear pattern over coarse plane ci.
+			for cj := 0; cj < nc-1; cj++ {
+				evenRow(fine.Row3(fi, 2*cj), coarse.Row3(ci, cj))
+				oddRow(fine.Row3(fi, 2*cj+1), coarse.Row3(ci, cj), coarse.Row3(ci, cj+1))
+			}
+			evenRow(fine.Row3(fi, nf-1), coarse.Row3(ci, nc-1))
+			if ci == nc-1 {
+				continue
+			}
+			// Odd fine plane: average the interpolants of coarse planes ci
+			// and ci+1. Writing it as the mean of the two even-plane rows
+			// keeps the code a literal tensor product of the 1D rule.
+			fo := fi + 1
+			for cj := 0; cj < nc-1; cj++ {
+				evenRow(row, coarse.Row3(ci, cj))
+				evenRow(rowNext, coarse.Row3(ci+1, cj))
+				average(fine.Row3(fo, 2*cj), row, rowNext)
+				oddRow(row, coarse.Row3(ci, cj), coarse.Row3(ci, cj+1))
+				oddRow(rowNext, coarse.Row3(ci+1, cj), coarse.Row3(ci+1, cj+1))
+				average(fine.Row3(fo, 2*cj+1), row, rowNext)
+			}
+			evenRow(row, coarse.Row3(ci, nc-1))
+			evenRow(rowNext, coarse.Row3(ci+1, nc-1))
+			average(fine.Row3(fo, nf-1), row, rowNext)
+		}
+	}
+	if pool == nil || pool.Workers() == 1 || nc < parallelThreshold3D {
+		body(0, nc)
+	} else {
+		pool.ParallelFor(0, nc, 0, body)
+	}
+	fine.ZeroBoundary()
+}
+
 // InterpolateAdd interpolates coarse into a scratch grid and adds the result
 // to x's interior — the coarse-grid correction step. scratch must be a fine
 // sized grid and must not alias x.
@@ -112,7 +256,14 @@ func InterpolateAdd(pool *sched.Pool, x, coarse, scratch *grid.Grid) {
 // the underlying continuous field — the standard coefficient re-discretization
 // for variable-coefficient operators. Unlike Restrict, the boundary is kept
 // (coefficients are field data, not residuals).
+//
+// RestrictCoef is 2D-only: no 3D operator family carries a nodal coefficient
+// field yet, and the guard turns an accidental 3D call into an explicit
+// error instead of silent index corruption.
 func RestrictCoef(coarse, fine *grid.Grid) {
+	if coarse.Dim() != 2 || fine.Dim() != 2 {
+		panic(fmt.Sprintf("transfer: RestrictCoef is 2D-only, got fine=%dD coarse=%dD", fine.Dim(), coarse.Dim()))
+	}
 	nc, nf := coarse.N(), fine.N()
 	if nf != 2*nc-1 {
 		panic(fmt.Sprintf("transfer: RestrictCoef size mismatch fine=%d coarse=%d", nf, nc))
@@ -132,7 +283,36 @@ func RestrictCoef(coarse, fine *grid.Grid) {
 // coarse problem keeps the original boundary conditions.
 func RestrictProblem(pool *sched.Pool, coarseB, fineB, coarseX, fineX *grid.Grid) {
 	Restrict(pool, coarseB, fineB)
+	checkLevels(coarseX, fineX, "RestrictProblem")
 	nc := coarseX.N()
+	if coarseX.Dim() == 3 {
+		// Inject only the boundary points: the two full end planes, then per
+		// interior plane the first/last rows and the end columns.
+		injectRow := func(ci, cj int) {
+			cr := coarseX.Row3(ci, cj)
+			fr := fineX.Row3(2*ci, 2*cj)
+			for ck := 0; ck < nc; ck++ {
+				cr[ck] = fr[2*ck]
+			}
+		}
+		for _, ci := range []int{0, nc - 1} {
+			for cj := 0; cj < nc; cj++ {
+				injectRow(ci, cj)
+			}
+		}
+		for ci := 1; ci < nc-1; ci++ {
+			injectRow(ci, 0)
+			injectRow(ci, nc-1)
+			fi := 2 * ci
+			for cj := 1; cj < nc-1; cj++ {
+				cr := coarseX.Row3(ci, cj)
+				fr := fineX.Row3(fi, 2*cj)
+				cr[0] = fr[0]
+				cr[nc-1] = fr[2*(nc-1)]
+			}
+		}
+		return
+	}
 	for j := 0; j < nc; j++ {
 		coarseX.Set(0, j, fineX.At(0, 2*j))
 		coarseX.Set(nc-1, j, fineX.At(2*(nc-1), 2*j))

@@ -38,11 +38,17 @@ import (
 	"pbmg/internal/stencil"
 )
 
-// Grid is a square N×N grid of float64 values (row-major). See NewGrid.
+// Grid is a square N×N (2D) or cubic N×N×N (3D) grid of float64 values in
+// one flat slice. See NewGrid and NewGrid3; Grid.Dim reports which kind a
+// grid is, and dimension-specific accessors reject the other kind.
 type Grid = grid.Grid
 
-// NewGrid returns a zero-filled n×n grid.
+// NewGrid returns a zero-filled 2D n×n grid.
 func NewGrid(n int) *Grid { return grid.New(n) }
+
+// NewGrid3 returns a zero-filled 3D n×n×n grid, for use with
+// FamilyPoisson3D solvers.
+func NewGrid3(n int) *Grid { return grid.New3(n) }
 
 // Distribution selects a training/benchmark data distribution from §4 of
 // the paper.
@@ -66,17 +72,50 @@ type Problem = problem.Problem
 type Family = stencil.Family
 
 // Operator families: the paper's constant-coefficient Poisson operator −∇²,
-// the anisotropic operator −(ε·∂²/∂x² + ∂²/∂y²), and the
-// variable-coefficient operator −∇·(c∇u) with the built-in smooth positive
-// coefficient field of contrast parameter σ.
+// the anisotropic operator −(ε·∂²/∂x² + ∂²/∂y²), the variable-coefficient
+// operator −∇·(c∇u) with the built-in smooth positive coefficient field of
+// contrast parameter σ, and the 3D Poisson operator (7-point stencil on an
+// N×N×N cube — the paper's headline scaling case). Families carry their
+// spatial dimension (Family.Dim); 3D solvers work on grids from NewGrid3.
 const (
 	FamilyPoisson     = stencil.FamilyPoisson
 	FamilyAnisotropic = stencil.FamilyAnisotropic
 	FamilyVarCoef     = stencil.FamilyVarCoef
+	FamilyPoisson3D   = stencil.FamilyPoisson3D
 )
 
-// ParseFamily parses a family name ("poisson", "aniso", "varcoef").
+// ParseFamily parses a family name ("poisson", "aniso", "varcoef",
+// "poisson3d").
 func ParseFamily(s string) (Family, error) { return stencil.ParseFamily(s) }
+
+// FamilyHasParam reports whether the family carries a tunable parameter
+// (anisotropy ratio ε or coefficient contrast σ); the 2D and 3D Laplacians
+// are parameterless.
+func FamilyHasParam(f Family) bool { return core.FamilyHasParam(f) }
+
+// CheckFamilyFlags validates CLI-style -family/-epsilon overrides against a
+// loaded solver: tuned tables are family-specific, so a mismatch would
+// silently solve the wrong operator. Empty family and zero epsilon mean
+// "use the configuration's values" and always pass; epsilon is only checked
+// for parameterized families. The error names the configuration path and
+// how to re-tune. Shared by mgsolve and mgserve so the checks cannot drift.
+func (s *Solver) CheckFamilyFlags(config, family string, epsilon float64) error {
+	if family != "" {
+		f, err := ParseFamily(family)
+		if err != nil {
+			return err
+		}
+		if f != s.Family() {
+			return fmt.Errorf("configuration %s is tuned for family %s, not %s; re-tune with mgtune -family %s",
+				config, s.Family(), f, f)
+		}
+	}
+	if epsilon != 0 && FamilyHasParam(s.Family()) && epsilon != s.Epsilon() {
+		return fmt.Errorf("configuration %s is tuned for eps %g, not %g; re-tune with mgtune -family %s -epsilon %g",
+			config, s.Epsilon(), epsilon, s.Family(), epsilon)
+	}
+	return nil
+}
 
 // NewProblem draws a random constant-coefficient Poisson problem of side n
 // (must be 2^k+1) from the given distribution.
@@ -239,6 +278,10 @@ func (s *Solver) Machine() string { return s.tuned.Machine }
 // Family returns the operator family the solver was tuned for.
 func (s *Solver) Family() Family { return s.ws.Operator().Family() }
 
+// Dim returns the solver's spatial dimension (2, or 3 for FamilyPoisson3D):
+// states passed to Solve must be grids of this dimension.
+func (s *Solver) Dim() int { return s.ws.Operator().Dim() }
+
 // Epsilon returns the operator family parameter (ε or σ; 1 for Poisson).
 func (s *Solver) Epsilon() float64 { return s.ws.Operator().Eps() }
 
@@ -364,6 +407,13 @@ func (s *Solver) Describe(n int, accuracy float64, full bool) (string, error) {
 		return mg.DescribeFull(s.tuned.F, s.tuned.V, level, idx), nil
 	}
 	return mg.DescribeV(s.tuned.V, level, idx), nil
+}
+
+// SolveTraced solves T·x = b like Solve while recording every executed
+// operation into rec — the hook benchmark harnesses use to account work
+// (sweeps, direct solves) alongside wall time.
+func (s *Solver) SolveTraced(x, b *Grid, accuracy float64, rec mg.Recorder) error {
+	return s.solve(x, b, accuracy, true, rec)
 }
 
 // SolveAdaptive solves T·x = b with runtime feedback instead of trained
