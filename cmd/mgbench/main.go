@@ -23,13 +23,14 @@ import (
 
 func main() {
 	exp := flag.String("exp", "all",
-		"experiment: complexity, fig6, fig7 (includes fig8), fig9, fig10, fig11, fig12, fig13, fig14, fig4, fig5, crosstrain, ablation-smoother, ablation-ladder, ablation-pareto, baseline, or all")
+		"experiment: complexity, fig6, fig7 (includes fig8), fig9, fig10, fig11, fig12, fig13, fig14, fig4, fig5, crosstrain, ablation-smoother, ablation-ladder, ablation-pareto, baseline, serve, or all")
 	level := flag.Int("level", 8, "finest multigrid level (grid side 2^k+1)")
 	workers := flag.Int("workers", runtime.NumCPU(), "worker threads for wall-clock experiments")
 	seed := flag.Int64("seed", 20090101, "training/test seed")
 	family := flag.String("family", "poisson", "operator family for -exp baseline (poisson, aniso, varcoef, poisson3d)")
 	epsilon := flag.Float64("epsilon", 0, "family parameter for -exp baseline (0: family default)")
-	jsonOut := flag.Bool("json", false, "with -exp baseline, also write BENCH_<family>.json for per-PR perf tracking")
+	families := flag.String("families", "poisson,aniso,poisson3d", "family[:eps] list served by -exp serve")
+	jsonOut := flag.Bool("json", false, "with -exp baseline or -exp serve, also write BENCH_<family>.json / BENCH_serve.json for per-PR perf tracking")
 	quiet := flag.Bool("q", false, "suppress progress output")
 	flag.Parse()
 
@@ -42,6 +43,13 @@ func main() {
 
 	if *exp == "baseline" {
 		if err := runBaseline(*family, *epsilon, *level, *workers, *seed, *jsonOut, logf); err != nil {
+			fmt.Fprintln(os.Stderr, "mgbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *exp == "serve" {
+		if err := runServe(*families, *level, *workers, *seed, *jsonOut, logf); err != nil {
 			fmt.Fprintln(os.Stderr, "mgbench:", err)
 			os.Exit(1)
 		}

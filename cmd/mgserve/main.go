@@ -6,10 +6,18 @@
 // and one direct-factor cache; the admission limit bounds how many solves
 // are in flight at once.
 //
+// With -families or -configdir it serves SEVERAL tuned families from one
+// process through a pbmg.Registry: every family shares one worker pool, one
+// global admission limit, and one bounded direct-factor cache, clients mix
+// their requests across the families round-robin, and the report breaks
+// latency and admission metrics out per family.
+//
 // Usage:
 //
 //	mgserve -config tuned.json -size 257 -acc 1e7 -clients 8 -requests 400
 //	mgserve -size 129 -machine intel-harpertown -clients 16 -duration 5s
+//	mgserve -families poisson,aniso:0.01,poisson3d -size 129 -clients 8 -requests 400
+//	mgserve -configdir tuned/ -clients 16 -duration 5s
 package main
 
 import (
@@ -17,11 +25,10 @@ import (
 	"fmt"
 	"os"
 	"runtime"
-	"sort"
-	"sync"
 	"time"
 
 	"pbmg"
+	"pbmg/internal/mixload"
 )
 
 func main() {
@@ -37,12 +44,40 @@ func main() {
 	dist := flag.String("dist", "unbiased", "request data distribution: unbiased, biased, or point-sources")
 	family := flag.String("family", "", "operator family to serve (poisson, aniso, varcoef, poisson3d). With -config it must match the configuration; without, it selects the family for in-process tuning")
 	epsilon := flag.Float64("epsilon", 0, "family parameter ε/σ for in-process tuning (0: family default)")
+	families := flag.String("families", "", "serve several families from one registry: comma list of family[:eps], e.g. poisson,aniso:0.01,poisson3d (tuned in-process unless -configdir is given)")
+	configdir := flag.String("configdir", "", "directory of tuned-table JSON files to serve as a registry (one file per family)")
+	size3d := flag.Int("size3d", 17, "request grid side for 3D families in registry mode")
 	seed := flag.Int64("seed", 42, "request problem seed")
 	flag.Parse()
 
 	d, err := parseDist(*dist)
 	if err != nil {
 		fatal(err)
+	}
+
+	if *families != "" || *configdir != "" {
+		if *config != "" {
+			fatal(fmt.Errorf("-config cannot be combined with -families/-configdir; use -configdir for multi-family serving"))
+		}
+		err := serveRegistry(multiOpts{
+			families:  *families,
+			configdir: *configdir,
+			machine:   *machine,
+			size:      *size,
+			size3d:    *size3d,
+			acc:       *acc,
+			clients:   *clients,
+			requests:  *requests,
+			duration:  *duration,
+			workers:   *workers,
+			inflight:  *inflight,
+			dist:      d,
+			seed:      *seed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	solver, err := loadOrTune(*config, *machine, *family, *epsilon, *size, *workers)
@@ -63,79 +98,29 @@ func main() {
 	fmt.Printf("serving N=%d at accuracy %.2g (family %s): %d clients, %d kernel workers, ≤%d in flight\n",
 		*size, *acc, solver.Family(), *clients, *workers, svc.MaxInFlight())
 
-	// Each client pre-draws a small rotation of problems so request setup
-	// (RNG fills) stays off the measured path, then re-solves them from
-	// fresh states — the shape of a server handling recurring workloads.
-	const rotation = 4
-	type clientStats struct {
-		latencies []time.Duration
-		err       error
+	// The shared mixload driver pre-draws a small rotation of problems per
+	// client so request setup (RNG fills) stays off the measured path, then
+	// re-solves them from fresh states — the shape of a server handling
+	// recurring workloads.
+	res, err := mixload.Run(mixload.Options{
+		Services: []*pbmg.Service{svc},
+		ReqN:     []int{*size},
+		Clients:  *clients,
+		Requests: *requests,
+		Deadline: time.Now().Add(*duration),
+		Acc:      *acc,
+		Dist:     d,
+		Seed:     *seed,
+	})
+	if err != nil {
+		fatal(err)
 	}
-	stats := make([]clientStats, *clients)
-	// counts[c] is client c's share of -requests (summing exactly to the
-	// total), or -1 to run until the deadline.
-	counts := make([]int, *clients)
-	for c := range counts {
-		if *requests > 0 {
-			counts[c] = *requests / *clients
-			if c < *requests%*clients {
-				counts[c]++
-			}
-		} else {
-			counts[c] = -1
-		}
-	}
-	deadline := time.Now().Add(*duration)
-
-	var wg sync.WaitGroup
-	start := time.Now()
-	for c := 0; c < *clients; c++ {
-		wg.Add(1)
-		go func(c int) {
-			defer wg.Done()
-			probs := make([]*pbmg.Problem, rotation)
-			for i := range probs {
-				p, err := solver.NewFamilyProblem(*size, d, *seed+int64(c*rotation+i))
-				if err != nil {
-					stats[c].err = err
-					return
-				}
-				probs[i] = p
-			}
-			for i := 0; counts[c] < 0 || i < counts[c]; i++ {
-				if counts[c] < 0 && time.Now().After(deadline) {
-					return
-				}
-				p := probs[i%rotation]
-				x := p.NewState()
-				t0 := time.Now()
-				if err := svc.Solve(x, p.B, *acc); err != nil {
-					stats[c].err = err
-					return
-				}
-				stats[c].latencies = append(stats[c].latencies, time.Since(t0))
-			}
-		}(c)
-	}
-	wg.Wait()
-	elapsed := time.Since(start)
-
-	var all []time.Duration
-	for c := range stats {
-		if stats[c].err != nil {
-			fatal(stats[c].err)
-		}
-		all = append(all, stats[c].latencies...)
-	}
-	if len(all) == 0 {
-		fatal(fmt.Errorf("no requests completed"))
-	}
-	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-
+	all := res.All
 	fmt.Printf("served %d solves in %v: %.1f solves/sec\n",
-		len(all), elapsed.Round(time.Millisecond), float64(len(all))/elapsed.Seconds())
+		len(all), res.Elapsed.Round(time.Millisecond), float64(len(all))/res.Elapsed.Seconds())
 	fmt.Printf("latency p50 %v  p90 %v  p99 %v  max %v\n",
-		percentile(all, 0.50), percentile(all, 0.90), percentile(all, 0.99), all[len(all)-1])
+		mixload.Percentile(all, 0.50), mixload.Percentile(all, 0.90),
+		mixload.Percentile(all, 0.99), all[len(all)-1])
 
 	// Spot-check: re-solve one request with a reference solution attached so
 	// the report carries an achieved-accuracy figure, not just timings.
@@ -166,12 +151,6 @@ func loadOrTune(config, machine, family string, epsilon float64, size, workers i
 	}
 	fmt.Fprintf(os.Stderr, "mgserve: no -config, tuning in-process for N=%d (family %s) on %s\n", size, f, machine)
 	return pbmg.Tune(pbmg.Options{MaxSize: size, Family: f, Epsilon: epsilon, Machine: machine, Workers: workers})
-}
-
-// percentile returns the q-quantile of sorted latencies.
-func percentile(sorted []time.Duration, q float64) time.Duration {
-	i := int(q * float64(len(sorted)-1))
-	return sorted[i]
 }
 
 func parseDist(s string) (pbmg.Distribution, error) {

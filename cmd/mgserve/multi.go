@@ -1,0 +1,157 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"pbmg"
+	"pbmg/internal/mixload"
+)
+
+// Multi-family serving mode: one Registry, several tuned families, mixed
+// traffic. Enabled by -families (tune each family in-process) and/or
+// -configdir (load every tuned-table JSON in a directory); clients then
+// round-robin their requests across the served families (the shared
+// internal/mixload driver), and the report breaks throughput, latency
+// percentiles, and admission metrics out per family.
+
+// multiOpts carries the flag values the registry mode needs.
+type multiOpts struct {
+	families  string
+	configdir string
+	machine   string
+	size      int
+	size3d    int
+	acc       float64
+	clients   int
+	requests  int
+	duration  time.Duration
+	workers   int
+	inflight  int
+	dist      pbmg.Distribution
+	seed      int64
+}
+
+// serveRegistry runs the multi-family serving demo and prints per-family
+// throughput, latency percentiles, and admission metrics.
+func serveRegistry(o multiOpts) error {
+	r := pbmg.NewRegistry(pbmg.RegistryOptions{Workers: o.workers, MaxInFlight: o.inflight})
+	defer r.Close()
+
+	var services []*pbmg.Service
+	if o.configdir != "" {
+		loaded, err := r.LoadDir(o.configdir)
+		if err != nil {
+			return err
+		}
+		services = loaded
+	}
+	if o.families != "" {
+		specs, err := pbmg.ParseFamilySpecs(o.families)
+		if err != nil {
+			return err
+		}
+		if o.configdir != "" {
+			// -configdir supplies the catalog; -families selects the workload
+			// mix from it, with the usual mismatch errors on absent entries.
+			services = services[:0]
+			for _, sp := range specs {
+				svc, err := r.Lookup(sp.Family, sp.Epsilon)
+				if err != nil {
+					return err
+				}
+				services = append(services, svc)
+			}
+		} else {
+			for _, sp := range specs {
+				size := o.size
+				if sp.Dim == 3 {
+					size = o.size3d
+				}
+				fmt.Fprintf(os.Stderr, "mgserve: tuning in-process for N=%d (family %s) on %s\n", size, sp.Family, o.machine)
+				svc, err := r.Tune(pbmg.Options{
+					MaxSize: size, Family: sp.Family, Epsilon: sp.Epsilon,
+					Machine: o.machine, Seed: o.seed,
+				})
+				if err != nil {
+					return err
+				}
+				services = append(services, svc)
+			}
+		}
+	}
+
+	// Per-family request sizes, clamped to each family's tuned range.
+	reqN := make([]int, len(services))
+	for i, svc := range services {
+		n := o.size
+		if svc.Solver().Dim() == 3 {
+			n = o.size3d
+		}
+		if m := svc.Solver().MaxSize(); n > m {
+			n = m
+		}
+		reqN[i] = n
+	}
+
+	fmt.Printf("registry serving %d families: %d clients, %d kernel workers, ≤%d in flight\n",
+		len(services), o.clients, o.workers, r.MaxInFlight())
+	for i, svc := range services {
+		fmt.Printf("  %s: N=%d at accuracy %.2g\n", svc.Key(), reqN[i], o.acc)
+	}
+
+	res, err := mixload.Run(mixload.Options{
+		Services: services,
+		ReqN:     reqN,
+		Clients:  o.clients,
+		Requests: o.requests,
+		Deadline: time.Now().Add(o.duration),
+		Acc:      o.acc,
+		Dist:     o.dist,
+		Seed:     o.seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("served %d solves in %v: %.1f solves/sec\n",
+		len(res.All), res.Elapsed.Round(time.Millisecond), float64(len(res.All))/res.Elapsed.Seconds())
+	fmt.Printf("latency p50 %v  p90 %v  p99 %v  max %v\n",
+		mixload.Percentile(res.All, 0.50), mixload.Percentile(res.All, 0.90),
+		mixload.Percentile(res.All, 0.99), res.All[len(res.All)-1])
+	for fi, svc := range services {
+		ls := res.PerFamily[fi]
+		if len(ls) == 0 {
+			fmt.Printf("  %s: 0 solves\n", svc.Key())
+			continue
+		}
+		fmt.Printf("  %s: %d solves, %.1f solves/sec, p50 %v  p90 %v  p99 %v\n",
+			svc.Key(), len(ls), float64(len(ls))/res.Elapsed.Seconds(),
+			mixload.Percentile(ls, 0.50), mixload.Percentile(ls, 0.90), mixload.Percentile(ls, 0.99))
+	}
+
+	m := r.Metrics()
+	fmt.Printf("metrics: admitted=%d completed=%d rejected=%d inflight=%d unroutable=%d\n",
+		m.Aggregate.Admitted, m.Aggregate.Completed, m.Aggregate.Rejected, m.Aggregate.InFlight, m.Unroutable)
+	for _, fm := range m.Families {
+		fmt.Printf("  %s: admitted=%d completed=%d rejected=%d inflight=%d\n",
+			fm.Key, fm.Admitted, fm.Completed, fm.Rejected, fm.InFlight)
+	}
+
+	// Spot-check each family with a reference solution so the report carries
+	// achieved-accuracy figures, not just timings.
+	for fi, svc := range services {
+		p, err := svc.Solver().NewFamilyProblem(reqN[fi], o.dist, o.seed)
+		if err != nil {
+			return err
+		}
+		pbmg.Reference(p)
+		x := p.NewState()
+		if err := svc.Solve(x, p.B, o.acc); err != nil {
+			return err
+		}
+		fmt.Printf("spot-check %s: requested %.2g, achieved %.4g\n", svc.Key(), o.acc, p.AccuracyOf(x))
+	}
+	return nil
+}

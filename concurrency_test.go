@@ -1,9 +1,11 @@
 package pbmg
 
 import (
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"pbmg/internal/mg"
 )
@@ -159,6 +161,84 @@ func TestSolveBatchReportsPerProblemErrors(t *testing.T) {
 	// The good problem must still have been solved.
 	if got := good.AccuracyOf(batch[0].X); got < 1e2 {
 		t.Errorf("good batch problem achieved %.3g despite sibling failure", got)
+	}
+}
+
+// TestServiceSolveBatchGoroutineBounded is the fan-out regression test: a
+// 10k-problem batch must run on a worker loop sized by the admission limit,
+// not spawn a goroutine per problem parked on the semaphore.
+func TestServiceSolveBatchGoroutineBounded(t *testing.T) {
+	s := tuneShared(t)
+	sv := s.NewService(4)
+	const batchSize = 10_000
+	batch := make([]BatchProblem, batchSize)
+	for i := range batch {
+		p := NewProblem(9, Unbiased, int64(i))
+		batch[i] = BatchProblem{X: p.NewState(), B: p.B}
+	}
+
+	base := runtime.NumGoroutine()
+	done := make(chan error, 1)
+	go func() { done <- sv.SolveBatch(batch, 1e3) }()
+	peak := 0
+	for {
+		if g := runtime.NumGoroutine(); g > peak {
+			peak = g
+		}
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Budget: the admission limit's worth of batch workers plus the
+			// driver and sampling goroutines, with generous slack — far below
+			// the 10k the old goroutine-per-problem fan-out would spawn.
+			if budget := base + 50; peak > budget {
+				t.Fatalf("goroutine peak %d exceeds budget %d (base %d, limit %d)",
+					peak, budget, base, sv.MaxInFlight())
+			}
+			if got := sv.Completed(); got != batchSize {
+				t.Fatalf("Completed() = %d, want %d", got, batchSize)
+			}
+			return
+		default:
+			time.Sleep(200 * time.Microsecond)
+		}
+	}
+}
+
+// TestSolverSolveBatchCompletedVisible: Solver.SolveBatch must route through
+// the solver's persistent default service, so completions accumulate
+// somewhere observable instead of dying with a throwaway service.
+func TestSolverSolveBatchCompletedVisible(t *testing.T) {
+	s := tuneShared(t)
+	if s.DefaultService() != s.DefaultService() {
+		t.Fatal("DefaultService is not stable")
+	}
+	// The default service is shared solver-wide, so earlier tests may have
+	// accumulated counts already: assert on deltas.
+	before := s.DefaultService().Metrics()
+	mkBatch := func(seed int64) []BatchProblem {
+		batch := make([]BatchProblem, 8)
+		for i := range batch {
+			p := NewProblem(17, Unbiased, seed+int64(i))
+			batch[i] = BatchProblem{X: p.NewState(), B: p.B}
+		}
+		return batch
+	}
+	if err := s.SolveBatch(mkBatch(500), 1e3); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.DefaultService().Completed(); got != before.Completed+8 {
+		t.Fatalf("Completed() = %d after first batch, want %d", got, before.Completed+8)
+	}
+	// A second batch accumulates in the same service.
+	if err := s.SolveBatch(mkBatch(600), 1e3); err != nil {
+		t.Fatal(err)
+	}
+	m := s.DefaultService().Metrics()
+	if m.Completed != before.Completed+16 || m.Rejected != before.Rejected || m.InFlight != 0 {
+		t.Fatalf("metrics after two batches = %+v, want completed %d", m, before.Completed+16)
 	}
 }
 

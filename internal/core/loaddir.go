@@ -1,0 +1,50 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// LoadedConfig pairs a tuned bundle with the file it was read from, so
+// callers (the serving registry, CLI error messages) can name the source of
+// a configuration.
+type LoadedConfig struct {
+	Path string
+	T    *Tuned
+}
+
+// LoadDir loads every .json tuned configuration directly inside dir, in
+// filename order — the registry's "directory of tuned tables" layout, one
+// file per (family, ε) as written by Tuned.Save / mgtune. Any .json file
+// that is not a valid tuned bundle fails the whole load with an error naming
+// the file: a serving process must not come up quietly missing a family.
+func LoadDir(dir string) ([]LoadedConfig, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("core: read config dir: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.EqualFold(filepath.Ext(e.Name()), ".json") {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("core: no .json tuned configurations in %s", dir)
+	}
+	configs := make([]LoadedConfig, 0, len(names))
+	for _, name := range names {
+		path := filepath.Join(dir, name)
+		t, err := Load(path)
+		if err != nil {
+			return nil, fmt.Errorf("core: load config dir %s: %w", dir, err)
+		}
+		configs = append(configs, LoadedConfig{Path: path, T: t})
+	}
+	return configs, nil
+}

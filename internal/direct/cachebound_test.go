@@ -1,0 +1,89 @@
+package direct
+
+import (
+	"sync"
+	"testing"
+
+	"pbmg/internal/stencil"
+)
+
+// TestCacheCapacityBoundsEntries: under rotating request sizes a bounded
+// cache must hold at most its capacity, evicting least-recently-used
+// factorizations — the long-running-server memory guarantee.
+func TestCacheCapacityBoundsEntries(t *testing.T) {
+	c := NewCache(4)
+	sizes := []int{5, 9, 17, 33, 5, 9, 65, 5, 17, 33, 9, 65}
+	for _, n := range sizes {
+		c.Get(n)
+		if got := c.Len(); got > 4 {
+			t.Fatalf("after Get(%d): %d entries, capacity 4", n, got)
+		}
+	}
+	// An evicted size must still be servable (re-factored, not broken).
+	s := c.Get(5)
+	if s == nil || s.N() != 5 {
+		t.Fatal("re-Get of an evicted size failed")
+	}
+}
+
+// TestCacheEvictsLeastRecentlyUsed: the victim is the entry touched longest
+// ago, so a hot size survives a rotation of cold ones.
+func TestCacheEvictsLeastRecentlyUsed(t *testing.T) {
+	c := NewCache(2)
+	c.Get(5)
+	c.Get(9)
+	c.Get(5)  // 5 is now more recent than 9
+	c.Get(17) // evicts 9
+	sizes := c.Sizes()
+	want := map[int]bool{5: true, 17: true}
+	if len(sizes) != 2 || !want[sizes[0]] || !want[sizes[1]] {
+		t.Fatalf("Sizes() = %v, want {5, 17}", sizes)
+	}
+}
+
+// TestCacheSetCapacityEvictsImmediately: lowering the bound on a full cache
+// trims it right away rather than on the next insert.
+func TestCacheSetCapacityEvictsImmediately(t *testing.T) {
+	var c Cache // zero value: unbounded
+	for _, n := range []int{5, 9, 17, 33, 65} {
+		c.Get(n)
+	}
+	if got := c.Len(); got != 5 {
+		t.Fatalf("unbounded cache holds %d entries, want 5", got)
+	}
+	c.SetCapacity(2)
+	if got := c.Len(); got != 2 {
+		t.Fatalf("after SetCapacity(2): %d entries", got)
+	}
+	if got := c.Capacity(); got != 2 {
+		t.Fatalf("Capacity() = %d, want 2", got)
+	}
+}
+
+// TestCacheBoundedConcurrent: concurrent gets over more distinct keys than
+// the capacity stay race-free and leave the cache within its bound once all
+// factorizations have completed.
+func TestCacheBoundedConcurrent(t *testing.T) {
+	c := NewCache(3)
+	ops := []*stencil.Operator{nil, stencil.Anisotropic(0.25), stencil.Poisson3D()}
+	sizes := []int{5, 9, 17}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				op := ops[(g+i)%len(ops)]
+				n := sizes[i%len(sizes)]
+				if s := c.GetOp(op, n); s == nil || s.N() != n {
+					t.Errorf("GetOp(%v, %d) returned a wrong solver", op, n)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := c.Len(); got > 3 {
+		t.Fatalf("after concurrent rotation: %d entries, capacity 3", got)
+	}
+}

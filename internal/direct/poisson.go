@@ -107,10 +107,23 @@ func (s *PoissonSolver) SolveFlops() float64 { return s.a.SolveFlops() }
 // factorization blocks only callers of that key, never Gets for keys already
 // cached. A factored solver is immutable (Solve touches only its arguments),
 // so the returned solver may be used from any goroutine. The zero value is
-// ready to use.
+// ready to use and unbounded; SetCapacity (or NewCache) bounds the entry
+// count with least-recently-used eviction, so a long-running server that
+// sees rotating (operator, size, dim) keys holds a bounded set of
+// factorizations instead of growing without limit.
 type Cache struct {
 	mu      sync.Mutex // guards the index only, never a factorization
 	entries map[cacheKey]*cacheEntry
+	cap     int          // max completed entries kept; ≤ 0 means unbounded
+	clock   atomic.Int64 // logical recency clock for LRU eviction
+}
+
+// NewCache returns a cache bounded to at most max completed entries (≤ 0 for
+// unbounded).
+func NewCache(max int) *Cache {
+	c := &Cache{}
+	c.cap = max
+	return c
 }
 
 // cacheKey identifies one factorization: the operator (nil for the 2D
@@ -130,11 +143,14 @@ type cacheKey struct {
 // publishes its completion to the lock-free fast path and to readers like
 // Sizes. A mutex rather than sync.Once so that a panicking factorization
 // (e.g. an invalid size) leaves the entry retryable instead of poisoned
-// with a nil solver.
+// with a nil solver. lastUse carries the cache's recency clock for LRU
+// eviction; an evicted entry stays valid for callers already holding its
+// solver (factored solvers are immutable), it just stops being findable.
 type cacheEntry struct {
-	mu   sync.Mutex
-	done atomic.Bool
-	s    InteriorSolver
+	mu      sync.Mutex
+	done    atomic.Bool
+	lastUse atomic.Int64
+	s       InteriorSolver
 }
 
 // Get returns the cached constant-coefficient Poisson solver for grid side
@@ -164,17 +180,75 @@ func (c *Cache) GetOp(op *stencil.Operator, n int) InteriorSolver {
 		e = &cacheEntry{}
 		c.entries[key] = e
 	}
+	e.lastUse.Store(c.clock.Add(1))
 	c.mu.Unlock()
 	if e.done.Load() {
 		return e.s
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if !e.done.Load() {
-		e.s = NewInteriorSolver(op, n) // a panic here propagates; done stays false
-		e.done.Store(true)
-	}
+	func() {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		if !e.done.Load() {
+			e.s = NewInteriorSolver(op, n) // a panic here propagates; done stays false
+			e.done.Store(true)
+		}
+	}()
+	c.mu.Lock()
+	c.evictLocked()
+	c.mu.Unlock()
 	return e.s
+}
+
+// SetCapacity bounds the cache to at most max completed entries (≤ 0 removes
+// the bound), evicting least-recently-used entries immediately if the cache
+// is already over the new bound.
+func (c *Cache) SetCapacity(max int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cap = max
+	c.evictLocked()
+}
+
+// Capacity returns the configured entry bound (≤ 0: unbounded).
+func (c *Cache) Capacity() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cap
+}
+
+// Len returns the number of entries currently held (including any whose
+// factorization is still in flight).
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// evictLocked drops least-recently-used completed entries until the cache is
+// within its bound. Entries whose factorization is still in flight are never
+// evicted (their caller is about to use them), so the bound can be exceeded
+// transiently by the number of concurrent first-time factorizations.
+func (c *Cache) evictLocked() {
+	if c.cap <= 0 {
+		return
+	}
+	for len(c.entries) > c.cap {
+		var victim cacheKey
+		oldest := int64(0)
+		found := false
+		for k, e := range c.entries {
+			if !e.done.Load() {
+				continue
+			}
+			if lu := e.lastUse.Load(); !found || lu < oldest {
+				victim, oldest, found = k, lu, true
+			}
+		}
+		if !found {
+			return
+		}
+		delete(c.entries, victim)
+	}
 }
 
 // Sizes returns the grid sizes whose factorizations have completed (from

@@ -44,9 +44,22 @@ type Workspace struct {
 	// constant-coefficient Poisson operator, preserving the original
 	// behavior of every call site that predates operator families.
 	Op *stencil.Operator
+	// FactorCache, when non-nil, replaces the workspace-private direct-factor
+	// cache, so several workspaces — one per served operator family — can
+	// share a single (typically bounded) cache. Like the other configuration
+	// fields it must be set before the workspace is shared across goroutines.
+	FactorCache *direct.Cache
 
-	cache direct.Cache // factor-once band-Cholesky cache; concurrency-safe
+	cache direct.Cache // private factor-once cache when FactorCache is nil
 	arena sync.Map     // grid size -> *sync.Pool of *levelBufs
+}
+
+// factorCache resolves the direct-factor cache in use (shared or private).
+func (ws *Workspace) factorCache() *direct.Cache {
+	if ws.FactorCache != nil {
+		return ws.FactorCache
+	}
+	return &ws.cache
 }
 
 // Operator returns the workspace's operator family (the shared Poisson
@@ -126,7 +139,7 @@ func (ws *Workspace) SolveDirect(x, b *grid.Grid, rec Recorder) {
 	op := ws.opAt(n)
 	var s direct.InteriorSolver
 	if ws.CacheDirectFactor {
-		s = ws.cache.GetOp(op, n)
+		s = ws.factorCache().GetOp(op, n)
 	} else {
 		s = direct.NewInteriorSolver(op, n)
 	}

@@ -1,0 +1,141 @@
+// Package mixload drives a mixed multi-family workload against a set of
+// pbmg services: each client pre-draws a small rotation of problems per
+// family (so request setup stays off the measured path), then issues
+// requests round-robin across the families from fresh states, recording
+// per-family latencies. It is the shared client loop behind mgserve's
+// registry mode and mgbench's serve experiment, so the workload shape —
+// rotation, seeding, round-robin order — cannot drift between the demo and
+// the benchmark.
+package mixload
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"pbmg"
+)
+
+// Options configures Run.
+type Options struct {
+	// Services are the served families, in report order.
+	Services []*pbmg.Service
+	// ReqN is the request grid side per service (parallel to Services).
+	ReqN []int
+	// Clients is the number of concurrent client goroutines.
+	Clients int
+	// Requests is the total request count, split across clients; ≤ 0 runs
+	// every client until Deadline instead.
+	Requests int
+	// Deadline stops duration-mode clients (when Requests ≤ 0).
+	Deadline time.Time
+	// Acc is the per-request accuracy target.
+	Acc float64
+	// Dist is the request data distribution.
+	Dist pbmg.Distribution
+	// Seed derives each client's per-family problem rotation.
+	Seed int64
+}
+
+// rotation is the number of pre-drawn problems per (client, family).
+const rotation = 2
+
+// Result is one measured workload.
+type Result struct {
+	// PerFamily holds each service's latencies, sorted ascending.
+	PerFamily [][]time.Duration
+	// All holds every latency, sorted ascending.
+	All []time.Duration
+	// Elapsed is the wall time of the whole run.
+	Elapsed time.Duration
+}
+
+// Run drives the workload and returns the collected latencies. Any client
+// error (a failed draw or solve) fails the run.
+func Run(o Options) (*Result, error) {
+	counts := make([]int, o.Clients)
+	for c := range counts {
+		if o.Requests > 0 {
+			counts[c] = o.Requests / o.Clients
+			if c < o.Requests%o.Clients {
+				counts[c]++
+			}
+		} else {
+			counts[c] = -1
+		}
+	}
+
+	lat := make([][][]time.Duration, o.Clients) // [client][family][]
+	errs := make([]error, o.Clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < o.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			lat[c] = make([][]time.Duration, len(o.Services))
+			probs := make([][]*pbmg.Problem, len(o.Services))
+			for fi, svc := range o.Services {
+				probs[fi] = make([]*pbmg.Problem, rotation)
+				for i := range probs[fi] {
+					p, err := svc.Solver().NewFamilyProblem(o.ReqN[fi], o.Dist, o.Seed+int64(c*100+fi*rotation+i))
+					if err != nil {
+						errs[c] = err
+						return
+					}
+					probs[fi][i] = p
+				}
+			}
+			for i := 0; counts[c] < 0 || i < counts[c]; i++ {
+				if counts[c] < 0 && time.Now().After(o.Deadline) {
+					return
+				}
+				fi := (c + i) % len(o.Services)
+				p := probs[fi][i%rotation]
+				x := p.NewState()
+				t0 := time.Now()
+				if err := o.Services[fi].Solve(x, p.B, o.Acc); err != nil {
+					errs[c] = err
+					return
+				}
+				lat[c][fi] = append(lat[c][fi], time.Since(t0))
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	res := &Result{PerFamily: make([][]time.Duration, len(o.Services)), Elapsed: elapsed}
+	for c := range lat {
+		for fi, ls := range lat[c] {
+			res.PerFamily[fi] = append(res.PerFamily[fi], ls...)
+			res.All = append(res.All, ls...)
+		}
+	}
+	if len(res.All) == 0 {
+		return nil, fmt.Errorf("mixload: no requests completed")
+	}
+	for fi := range res.PerFamily {
+		sortDurations(res.PerFamily[fi])
+	}
+	sortDurations(res.All)
+	return res, nil
+}
+
+func sortDurations(ds []time.Duration) {
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+}
+
+// Percentile returns the q-quantile of sorted latencies (0 when empty).
+func Percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	return sorted[int(q*float64(len(sorted)-1))]
+}

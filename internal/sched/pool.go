@@ -82,18 +82,19 @@ func (p *Pool) Workers() int { return p.workers }
 func (p *Pool) Steals() int64 { return p.steals.Load() }
 
 // Close shuts the workers down. It must not be called concurrently with
-// ParallelFor or Do. Close is idempotent.
+// ParallelFor or Do. Close is idempotent and safe to call from several
+// goroutines — every caller returns only after the workers have exited, so
+// shared owners (e.g. a registry and the solvers it serves) may all Close
+// defensively during teardown.
 func (p *Pool) Close() {
 	if p.workers == 1 {
 		return
 	}
 	p.mu.Lock()
-	if p.closed {
-		p.mu.Unlock()
-		return
+	if !p.closed {
+		p.closed = true
+		p.cond.Broadcast()
 	}
-	p.closed = true
-	p.cond.Broadcast()
 	p.mu.Unlock()
 	p.wg.Wait()
 }

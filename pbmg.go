@@ -27,6 +27,7 @@ package pbmg
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"pbmg/internal/arch"
 	"pbmg/internal/core"
@@ -181,11 +182,32 @@ type Solver struct {
 	tuned *core.Tuned
 	ws    *mg.Workspace
 	pool  *sched.Pool
+
+	// defOnce/defSvc back DefaultService, the shared admission front end that
+	// SolveBatch routes through so its completion counts are observable.
+	defOnce sync.Once
+	defSvc  *Service
 }
 
 // Tune trains a solver for the given options by running the paper's
 // dynamic-programming autotuner.
 func Tune(o Options) (*Solver, error) {
+	var pool *sched.Pool
+	if o.Workers > 1 {
+		pool = sched.NewPool(o.Workers)
+	}
+	s, err := tuneWithPool(o, pool)
+	if err != nil {
+		closePool(pool)
+		return nil, err
+	}
+	return s, nil
+}
+
+// tuneWithPool runs the autotuner and builds a solver on the given pool
+// (nil: serial), which the caller owns — Registry.Tune passes its shared
+// pool, Tune a fresh one sized by o.Workers.
+func tuneWithPool(o Options, pool *sched.Pool) (*Solver, error) {
 	level := grid.Level(o.MaxSize)
 	if level < 2 {
 		return nil, fmt.Errorf("pbmg: MaxSize must be 2^k+1 with k ≥ 2, got %d", o.MaxSize)
@@ -197,10 +219,6 @@ func Tune(o Options) (*Solver, error) {
 			return nil, err
 		}
 		coster = m
-	}
-	var pool *sched.Pool
-	if o.Workers > 1 {
-		pool = sched.NewPool(o.Workers)
 	}
 	tn, err := core.New(core.Config{
 		Accuracies:   o.Accuracies,
@@ -214,20 +232,13 @@ func Tune(o Options) (*Solver, error) {
 		Logf:         o.Logf,
 	})
 	if err != nil {
-		closePool(pool)
 		return nil, err
 	}
 	tuned, err := tn.Tune()
 	if err != nil {
-		closePool(pool)
 		return nil, err
 	}
-	s, err := newSolver(tuned, pool)
-	if err != nil {
-		closePool(pool)
-		return nil, err
-	}
-	return s, nil
+	return newSolver(tuned, pool)
 }
 
 // Load reads a tuned configuration written by Save. Workers configures the

@@ -1,0 +1,385 @@
+package pbmg
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"pbmg/internal/core"
+	"pbmg/internal/direct"
+	"pbmg/internal/sched"
+)
+
+// This file is the multi-family serving layer: a Registry holds one tuned
+// Solver per operator family and routes requests to it, so a single process
+// serves several tuned configurations side by side — the paper's
+// tune-once/serve-many model (§3.2.1) extended from one configuration to a
+// catalog of them. Every family the registry serves shares one worker pool,
+// one global admission limit, and one bounded direct-factor cache, so adding
+// a family adds tables, not threads.
+
+// ServeKey identifies one tuned configuration in a Registry: the operator
+// family, its resolved parameter (0 for the parameterless Laplacians), and
+// the spatial dimension.
+type ServeKey struct {
+	Family  Family
+	Epsilon float64
+	Dim     int
+}
+
+// String renders the key the way the CLI flags spell it: "poisson",
+// "aniso:0.01", "poisson3d".
+func (k ServeKey) String() string {
+	if FamilyHasParam(k.Family) {
+		return fmt.Sprintf("%s:%g", k.Family, k.Epsilon)
+	}
+	return k.Family.String()
+}
+
+// ParseFamilySpecs parses the CLI syntax for a serving catalog: a
+// comma-separated list of family[:eps] items, e.g.
+// "poisson,aniso:0.01,poisson3d". Epsilon stays 0 (family default) when the
+// :eps suffix is absent; Dim is filled from the family.
+func ParseFamilySpecs(spec string) ([]ServeKey, error) {
+	var out []ServeKey
+	for _, item := range strings.Split(spec, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		name, epsStr, hasEps := strings.Cut(item, ":")
+		f, err := ParseFamily(name)
+		if err != nil {
+			return nil, err
+		}
+		k := ServeKey{Family: f, Dim: f.Dim()}
+		if hasEps {
+			eps, err := strconv.ParseFloat(epsStr, 64)
+			if err != nil {
+				return nil, fmt.Errorf("pbmg: family %q: bad parameter %q: %v", name, epsStr, err)
+			}
+			k.Epsilon = eps
+		}
+		out = append(out, k)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("pbmg: family list %q names no families", spec)
+	}
+	return out, nil
+}
+
+// Key returns the (family, ε, dim) registry key the service is served
+// under.
+func (sv *Service) Key() ServeKey { return serveKeyOf(sv.s) }
+
+// serveKeyOf derives the registry key of a tuned solver.
+func serveKeyOf(s *Solver) ServeKey {
+	k := ServeKey{Family: s.Family(), Dim: s.Dim()}
+	if FamilyHasParam(k.Family) {
+		k.Epsilon = s.Epsilon()
+	}
+	return k
+}
+
+// DefaultFactorCacheCap bounds the registry's shared direct-factor cache: a
+// long-running server that rotates through many (operator, size, dimension)
+// keys keeps at most this many band-Cholesky factorizations live, evicting
+// least-recently-used ones. Each tuned family touches at most one operator
+// per level, so the default comfortably fits several families' full
+// hierarchies while still bounding memory.
+const DefaultFactorCacheCap = 64
+
+// RegistryOptions configures NewRegistry.
+type RegistryOptions struct {
+	// Workers sets the shared kernel worker pool for every served family
+	// (≤ 1: serial).
+	Workers int
+	// MaxInFlight is the global admission limit across all families (≤ 0:
+	// 2×GOMAXPROCS).
+	MaxInFlight int
+	// FactorCacheCap bounds the shared direct-factor cache (0:
+	// DefaultFactorCacheCap; < 0: unbounded).
+	FactorCacheCap int
+}
+
+// Registry serves several tuned operator families from one process. Each
+// registered configuration gets a Service routed by (family, ε); all of them
+// share the registry's worker pool, its global admission semaphore, and its
+// bounded direct-factor cache. A Registry is safe for concurrent use: any
+// number of goroutines may Lookup and Solve while families are being
+// registered. Release with Close.
+type Registry struct {
+	pool  *sched.Pool
+	cache *direct.Cache
+	sem   chan struct{}
+
+	unroutable atomic.Int64
+
+	mu       sync.RWMutex
+	services map[ServeKey]*Service
+	order    []ServeKey // registration order, for stable listings
+}
+
+// NewRegistry returns an empty registry with the shared serving resources
+// allocated.
+func NewRegistry(o RegistryOptions) *Registry {
+	var pool *sched.Pool
+	if o.Workers > 1 {
+		pool = sched.NewPool(o.Workers)
+	}
+	maxInFlight := o.MaxInFlight
+	if maxInFlight <= 0 {
+		maxInFlight = 2 * runtime.GOMAXPROCS(0)
+	}
+	cacheCap := o.FactorCacheCap
+	switch {
+	case cacheCap == 0:
+		cacheCap = DefaultFactorCacheCap
+	case cacheCap < 0:
+		cacheCap = 0 // direct.NewCache treats ≤ 0 as unbounded
+	}
+	return &Registry{
+		pool:     pool,
+		cache:    direct.NewCache(cacheCap),
+		sem:      make(chan struct{}, maxInFlight),
+		services: make(map[ServeKey]*Service),
+	}
+}
+
+// MaxInFlight returns the global admission limit shared by every family.
+func (r *Registry) MaxInFlight() int { return cap(r.sem) }
+
+// Register adopts a tuned solver into the registry: its workspace is rewired
+// onto the registry's shared worker pool and factor cache, and it is served
+// behind the global admission limit. The registry service also becomes the
+// solver's default service — replacing any private one created earlier — so
+// Solver.SolveBatch honors the global limit and its completions appear in
+// the registry metrics rather than on a private limiter. Register must not
+// be called while solves are in flight on the solver. The solver's own pool
+// (if it was tuned with one) stays with the caller — Solver.Close still
+// releases it — but solves routed through the registry run on the shared
+// pool. Registering a second configuration with the same (family, ε, dim)
+// key fails.
+func (r *Registry) Register(s *Solver) (*Service, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.checkKeyLocked(serveKeyOf(s)); err != nil {
+		return nil, err
+	}
+	return r.registerLocked(s), nil
+}
+
+// checkKeyLocked rejects a key the registry already serves.
+func (r *Registry) checkKeyLocked(key ServeKey) error {
+	if _, ok := r.services[key]; ok {
+		return fmt.Errorf("pbmg: registry already serves family %s", key)
+	}
+	return nil
+}
+
+// registerLocked adopts a solver whose key has passed checkKeyLocked.
+func (r *Registry) registerLocked(s *Solver) *Service {
+	key := serveKeyOf(s)
+	s.ws.Pool = r.pool
+	s.ws.FactorCache = r.cache
+	svc := newService(s, r.sem)
+	// The registry service becomes the solver's default service even if a
+	// private one was already created before registration, so
+	// Solver.SolveBatch always honors the global limit and its completions
+	// land in the registry metrics. Safe under Register's no-solves-in-flight
+	// contract, like the pool and cache rewires above.
+	s.defOnce.Do(func() {})
+	s.defSvc = svc
+	r.services[key] = svc
+	r.order = append(r.order, key)
+	return svc
+}
+
+// Tune tunes a configuration on the registry's shared pool and registers it.
+// The Workers option is ignored: the shared pool is used for tuning and
+// serving alike.
+func (r *Registry) Tune(o Options) (*Service, error) {
+	s, err := tuneWithPool(o, r.pool)
+	if err != nil {
+		return nil, err
+	}
+	s.pool = nil // the registry owns the shared pool
+	return r.Register(s)
+}
+
+// LoadFile loads one tuned configuration written by Solver.Save (or mgtune)
+// and registers it.
+func (r *Registry) LoadFile(path string) (*Service, error) {
+	tuned, err := core.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	s, err := newSolver(tuned, r.pool)
+	if err != nil {
+		return nil, err
+	}
+	s.pool = nil // the registry owns the shared pool
+	svc, err := r.Register(s)
+	if err != nil {
+		return nil, fmt.Errorf("%w (from %s)", err, path)
+	}
+	return svc, nil
+}
+
+// LoadDir loads every .json tuned configuration in dir (one file per family,
+// as written by mgtune) and registers them all, in filename order. The load
+// is all-or-nothing: any file that fails to load or collides with an
+// already-registered family fails the whole call and registers NOTHING, so a
+// serving process neither comes up quietly missing a family nor bricks the
+// retry after the operator fixes the bad file.
+func (r *Registry) LoadDir(dir string) ([]*Service, error) {
+	configs, err := core.LoadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	// Build every solver and vet every key before touching the registry.
+	solvers := make([]*Solver, 0, len(configs))
+	paths := make(map[ServeKey]string, len(configs))
+	for _, cfg := range configs {
+		s, err := newSolver(cfg.T, r.pool)
+		if err != nil {
+			return nil, fmt.Errorf("pbmg: configuration %s: %w", cfg.Path, err)
+		}
+		s.pool = nil // the registry owns the shared pool
+		key := serveKeyOf(s)
+		if prev, dup := paths[key]; dup {
+			return nil, fmt.Errorf("pbmg: %s and %s both serve family %s", prev, cfg.Path, key)
+		}
+		paths[key] = cfg.Path
+		solvers = append(solvers, s)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, s := range solvers {
+		key := serveKeyOf(s)
+		if err := r.checkKeyLocked(key); err != nil {
+			return nil, fmt.Errorf("%w (from %s)", err, paths[key])
+		}
+	}
+	services := make([]*Service, 0, len(solvers))
+	for _, s := range solvers {
+		services = append(services, r.registerLocked(s))
+	}
+	return services, nil
+}
+
+// Keys returns the served (family, ε, dim) keys in registration order.
+func (r *Registry) Keys() []ServeKey {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]ServeKey(nil), r.order...)
+}
+
+// Services returns the per-family services in registration order.
+func (r *Registry) Services() []*Service {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*Service, 0, len(r.order))
+	for _, k := range r.order {
+		out = append(out, r.services[k])
+	}
+	return out
+}
+
+// Lookup routes a request to the service tuned for the family and parameter.
+// For parameterized families, eps 0 selects the family default (the same
+// resolution the tuner applies); for the parameterless Laplacians eps is
+// ignored, mirroring Solver.CheckFamilyFlags. A miss counts toward the
+// Unroutable metric and the error names what the registry does serve.
+func (r *Registry) Lookup(f Family, eps float64) (*Service, error) {
+	key := ServeKey{Family: f, Dim: f.Dim()}
+	if FamilyHasParam(f) {
+		key.Epsilon = core.ResolveEps(f, eps)
+	}
+	r.mu.RLock()
+	svc, ok := r.services[key]
+	r.mu.RUnlock()
+	if ok {
+		return svc, nil
+	}
+	r.unroutable.Add(1)
+	return nil, r.routeError(key)
+}
+
+// routeError explains a routing miss: an eps mismatch within a served family
+// points at the tuned parameters (like Solver.CheckFamilyFlags does for a
+// single configuration), anything else lists the served catalog.
+func (r *Registry) routeError(key ServeKey) error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var sameFamily []string
+	for _, k := range r.order {
+		if k.Family == key.Family {
+			sameFamily = append(sameFamily, fmt.Sprintf("%g", k.Epsilon))
+		}
+	}
+	if len(sameFamily) > 0 {
+		return fmt.Errorf("pbmg: registry serves family %s at eps %s, not %g; re-tune with mgtune -family %s -epsilon %g",
+			key.Family, strings.Join(sameFamily, ", "), key.Epsilon, key.Family, key.Epsilon)
+	}
+	served := make([]string, 0, len(r.order))
+	for _, k := range r.order {
+		served = append(served, k.String())
+	}
+	sort.Strings(served)
+	if len(served) == 0 {
+		return fmt.Errorf("pbmg: registry serves no families; request for %s rejected", key)
+	}
+	return fmt.Errorf("pbmg: registry does not serve family %s (serving: %s)",
+		key, strings.Join(served, ", "))
+}
+
+// Solve routes one tuned FULL-MULTIGRID solve to the family's service,
+// blocking while the registry-wide MaxInFlight solves are already running.
+// See Solver.Solve.
+func (r *Registry) Solve(f Family, eps float64, x, b *Grid, accuracy float64) error {
+	svc, err := r.Lookup(f, eps)
+	if err != nil {
+		return err
+	}
+	return svc.Solve(x, b, accuracy)
+}
+
+// FamilyMetrics is one family's counters in a registry snapshot.
+type FamilyMetrics struct {
+	Key ServeKey
+	ServiceMetrics
+}
+
+// RegistryMetrics is a point-in-time snapshot of the registry's request
+// counters: per-family in registration order, their sum, and the requests
+// that matched no served family (which never reach a service, so they are
+// not part of the aggregate).
+type RegistryMetrics struct {
+	Families   []FamilyMetrics
+	Aggregate  ServiceMetrics
+	Unroutable int64
+}
+
+// Metrics snapshots every served family's counters.
+func (r *Registry) Metrics() RegistryMetrics {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	m := RegistryMetrics{Unroutable: r.unroutable.Load()}
+	for _, k := range r.order {
+		sm := r.services[k].Metrics()
+		m.Families = append(m.Families, FamilyMetrics{Key: k, ServiceMetrics: sm})
+		m.Aggregate.Add(sm)
+	}
+	return m
+}
+
+// Close releases the registry's shared worker pool. It must not be called
+// while solves are in flight. Solvers registered via Register keep their own
+// pools (release those with Solver.Close); solvers the registry built itself
+// (Tune, LoadFile, LoadDir) have no other resources to release.
+func (r *Registry) Close() { closePool(r.pool) }

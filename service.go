@@ -13,7 +13,8 @@ import (
 // Service admits a stream of solve requests with a bound on how many run at
 // once. Both lean on the tune-once/serve-many model of the paper (§3.2.1):
 // the expensive tuned configuration and its caches are built once and then
-// amortized over every request.
+// amortized over every request. Registry (registry.go) composes several
+// Services — one per tuned operator family — behind one admission limit.
 
 // BatchProblem pairs one solve's state grid (Dirichlet boundary and initial
 // guess, solved in place) with its right-hand side.
@@ -23,23 +24,52 @@ type BatchProblem struct {
 
 // SolveBatch solves every problem with the tuned FULL-MULTIGRID algorithm
 // for the smallest tuned target ≥ accuracy, running the solves concurrently
-// on the shared solver. In-flight solves are bounded (by 2×GOMAXPROCS) so
-// arbitrarily large batches hold only a bounded set of scratch workspaces.
-// Each problem's X is solved in place. The returned error joins the
-// failures of all problems that were rejected (others still complete);
-// a nil return means every problem met its target.
+// on the shared solver through the solver's default service (see
+// DefaultService), whose admission limit bounds both the in-flight solves
+// and the goroutines fanned out, so arbitrarily large batches hold only a
+// bounded set of scratch workspaces. Each problem's X is
+// solved in place. The returned error joins the failures of all problems
+// that were rejected (others still complete); a nil return means every
+// problem met its target. Completions are visible in the default service's
+// metrics.
 func (s *Solver) SolveBatch(problems []BatchProblem, accuracy float64) error {
-	return s.NewService(0).SolveBatch(problems, accuracy)
+	return s.DefaultService().SolveBatch(problems, accuracy)
 }
 
 // Service wraps a Solver with an admission limit for serving: at most
-// maxInFlight solves run concurrently, and further requests block until a
+// MaxInFlight solves run concurrently, and further requests block until a
 // slot frees. A Service is safe for concurrent use and is cheap to create;
-// all services of one Solver share its tuned tables and caches.
+// all services of one Solver share its tuned tables and caches. Services
+// created by a Registry share one admission semaphore, so the limit is
+// global across every family the registry serves.
 type Service struct {
-	s         *Solver
-	sem       chan struct{}
+	s   *Solver
+	sem chan struct{}
+
+	admitted  atomic.Int64
 	completed atomic.Int64
+	rejected  atomic.Int64
+	inFlight  atomic.Int64
+}
+
+// ServiceMetrics is a point-in-time snapshot of one service's request
+// counters. Admitted counts solves that passed admission (acquired a slot);
+// of those, Completed finished successfully and Rejected returned an error
+// (size or accuracy outside the tuned range). InFlight is the gauge of
+// solves currently running.
+type ServiceMetrics struct {
+	Admitted  int64
+	Completed int64
+	Rejected  int64
+	InFlight  int64
+}
+
+// Add accumulates m into the receiver (for aggregating per-family metrics).
+func (sm *ServiceMetrics) Add(m ServiceMetrics) {
+	sm.Admitted += m.Admitted
+	sm.Completed += m.Completed
+	sm.Rejected += m.Rejected
+	sm.InFlight += m.InFlight
 }
 
 // NewService returns a serving front end admitting at most maxInFlight
@@ -48,11 +78,32 @@ func (s *Solver) NewService(maxInFlight int) *Service {
 	if maxInFlight <= 0 {
 		maxInFlight = 2 * runtime.GOMAXPROCS(0)
 	}
-	return &Service{s: s, sem: make(chan struct{}, maxInFlight)}
+	return newService(s, make(chan struct{}, maxInFlight))
 }
 
-// MaxInFlight returns the admission limit.
+// newService wraps a solver around an admission semaphore, which may be
+// shared with other services (Registry shares one across all families).
+func newService(s *Solver, sem chan struct{}) *Service {
+	return &Service{s: s, sem: sem}
+}
+
+// DefaultService returns the solver's lazily-created default service,
+// shared by every SolveBatch call on the solver so batch completions
+// accumulate in one place instead of vanishing with a throwaway service.
+// The admission limit is 2×GOMAXPROCS for a standalone solver; registering
+// the solver in a Registry makes the registry service (and its global
+// limit) the default, so batch solves honor the registry-wide bound.
+func (s *Solver) DefaultService() *Service {
+	s.defOnce.Do(func() { s.defSvc = s.NewService(0) })
+	return s.defSvc
+}
+
+// MaxInFlight returns the admission limit (the global limit, for services
+// created by a Registry).
 func (sv *Service) MaxInFlight() int { return cap(sv.sem) }
+
+// Solver returns the tuned solver behind the service.
+func (sv *Service) Solver() *Solver { return sv.s }
 
 // Family returns the operator family the underlying solver serves; requests
 // must be drawn from the same family (see Solver.NewFamilyProblem).
@@ -64,7 +115,20 @@ func (sv *Service) Epsilon() float64 { return sv.s.Epsilon() }
 // Completed returns the number of solves finished successfully so far.
 func (sv *Service) Completed() int64 { return sv.completed.Load() }
 
-// Solve admits one tuned FULL-MULTIGRID solve, blocking while maxInFlight
+// Metrics returns a snapshot of the service's request counters. The fields
+// are read individually from concurrently-updated counters, so a snapshot
+// taken while solves are in flight is approximate (but each counter is
+// exact).
+func (sv *Service) Metrics() ServiceMetrics {
+	return ServiceMetrics{
+		Admitted:  sv.admitted.Load(),
+		Completed: sv.completed.Load(),
+		Rejected:  sv.rejected.Load(),
+		InFlight:  sv.inFlight.Load(),
+	}
+}
+
+// Solve admits one tuned FULL-MULTIGRID solve, blocking while MaxInFlight
 // solves are already running. See Solver.Solve.
 func (sv *Service) Solve(x, b *Grid, accuracy float64) error {
 	return sv.admit(func() error { return sv.s.Solve(x, b, accuracy) })
@@ -89,28 +153,50 @@ func (sv *Service) SolveAdaptive(x, b *Grid, residualReduction float64) (int, fl
 
 func (sv *Service) admit(solve func() error) error {
 	sv.sem <- struct{}{}
-	defer func() { <-sv.sem }()
+	sv.admitted.Add(1)
+	sv.inFlight.Add(1)
+	defer func() {
+		sv.inFlight.Add(-1)
+		<-sv.sem
+	}()
 	err := solve()
 	if err == nil {
 		sv.completed.Add(1)
+	} else {
+		sv.rejected.Add(1)
 	}
 	return err
 }
 
 // SolveBatch solves every problem concurrently through this service's
-// admission limit. See Solver.SolveBatch.
+// admission limit. The fan-out is a worker loop sized by the admission
+// limit, not a goroutine per problem: a million-problem batch runs on
+// min(MaxInFlight, len(problems)) goroutines pulling the next index, rather
+// than parking a million goroutines on the semaphore. See Solver.SolveBatch.
 func (sv *Service) SolveBatch(problems []BatchProblem, accuracy float64) error {
 	if len(problems) == 0 {
 		return nil
 	}
 	errs := make([]error, len(problems))
+	workers := sv.MaxInFlight()
+	if workers > len(problems) {
+		workers = len(problems)
+	}
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	for i, p := range problems {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if err := sv.Solve(p.X, p.B, accuracy); err != nil {
-				errs[i] = fmt.Errorf("pbmg: batch problem %d: %w", i, err)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(problems) {
+					return
+				}
+				p := problems[i]
+				if err := sv.Solve(p.X, p.B, accuracy); err != nil {
+					errs[i] = fmt.Errorf("pbmg: batch problem %d: %w", i, err)
+				}
 			}
 		}()
 	}
