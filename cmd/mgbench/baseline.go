@@ -36,22 +36,30 @@ type benchCell struct {
 
 // benchReport is the machine-readable baseline for one family.
 type benchReport struct {
-	Family   string      `json:"family"`
-	Eps      float64     `json:"eps,omitempty"`
-	Dim      int         `json:"dim"`
-	MaxLevel int         `json:"maxLevel"`
-	Machine  string      `json:"machine"`
-	GoOS     string      `json:"goos"`
-	GoArch   string      `json:"goarch"`
-	Cells    []benchCell `json:"cells"`
+	Family   string  `json:"family"`
+	Eps      float64 `json:"eps,omitempty"`
+	Dim      int     `json:"dim"`
+	MaxLevel int     `json:"maxLevel"`
+	Machine  string  `json:"machine"`
+	GoOS     string  `json:"goos"`
+	GoArch   string  `json:"goarch"`
+	// NoFuse records whether the fused cycle kernels were disabled
+	// (mgbench -nofuse), so fused and unfused baselines are not confused
+	// when diffed with -compare.
+	NoFuse bool `json:"noFuse,omitempty"`
+	// Steals is the worker pool's successful-steal count across the run —
+	// scheduler visibility (0 for serial runs).
+	Steals int64       `json:"steals"`
+	Cells  []benchCell `json:"cells"`
 }
 
 // baselineAccs are the accuracy targets sampled per level.
 var baselineAccs = []float64{1e1, 1e5, 1e9}
 
 // runBaseline measures the family baseline up to maxLevel and optionally
-// writes BENCH_<family>.json.
-func runBaseline(familyName string, eps float64, maxLevel, workers int, seed int64, writeJSON bool, logf func(string, ...any)) error {
+// writes BENCH_<family>.json (or outPath when non-empty). noFuse disables
+// the fused cycle kernels, measuring the pre-fusion pass structure.
+func runBaseline(familyName string, eps float64, maxLevel, workers int, seed int64, writeJSON, noFuse bool, outPath string, logf func(string, ...any)) error {
 	f, err := pbmg.ParseFamily(familyName)
 	if err != nil {
 		return err
@@ -69,6 +77,7 @@ func runBaseline(familyName string, eps float64, maxLevel, workers int, seed int
 		Machine: "intel-harpertown", // deterministic tables; wall times are the host's
 		Workers: workers,
 		Seed:    seed,
+		NoFuse:  noFuse,
 	}
 	if logf != nil {
 		opts.Logf = logf
@@ -86,6 +95,7 @@ func runBaseline(familyName string, eps float64, maxLevel, workers int, seed int
 		Machine:  solver.Machine(),
 		GoOS:     runtime.GOOS,
 		GoArch:   runtime.GOARCH,
+		NoFuse:   noFuse,
 	}
 	if pbmg.FamilyHasParam(solver.Family()) {
 		rep.Eps = solver.Epsilon()
@@ -139,8 +149,13 @@ func runBaseline(familyName string, eps float64, maxLevel, workers int, seed int
 		}
 	}
 
+	rep.Steals = solver.PoolSteals()
+
 	if writeJSON {
-		path := fmt.Sprintf("BENCH_%s.json", rep.Family)
+		path := outPath
+		if path == "" {
+			path = fmt.Sprintf("BENCH_%s.json", rep.Family)
+		}
 		data, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
 			return err

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// The compare gate diffs two family-baseline reports (the BENCH_<family>.json
+// format runBaseline writes) cell by cell and fails on wall-clock
+// regressions, so CI can hold a change to "no cell got more than 15%
+// slower". Cells are matched by (level, acc); op counts are also diffed and
+// reported (they are machine-independent, so any drift is a table change,
+// not noise).
+
+// compareMaxSlowdown is the wallNs regression threshold: a cell may be at
+// most this fraction slower in new than in old before the gate fails.
+const compareMaxSlowdown = 0.15
+
+// compareFloorNS exempts cells whose wall times are both under this floor:
+// sub-100µs solves are dominated by timer and scheduler noise, and a 15%
+// band around them gates nothing real.
+const compareFloorNS = 100_000
+
+// loadBenchReport reads one BENCH_<family>.json.
+func loadBenchReport(path string) (*benchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep benchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rep.Cells) == 0 {
+		return nil, fmt.Errorf("%s: no cells (not a baseline report?)", path)
+	}
+	return &rep, nil
+}
+
+// runCompare diffs oldPath against newPath and returns an error (failing the
+// gate) if any matched cell slowed down by more than compareMaxSlowdown.
+func runCompare(oldPath, newPath string) error {
+	oldRep, err := loadBenchReport(oldPath)
+	if err != nil {
+		return err
+	}
+	newRep, err := loadBenchReport(newPath)
+	if err != nil {
+		return err
+	}
+	if oldRep.Family != newRep.Family {
+		return fmt.Errorf("compare: family mismatch: %s (%s) vs %s (%s)",
+			oldRep.Family, oldPath, newRep.Family, newPath)
+	}
+
+	type key struct {
+		level int
+		acc   float64
+	}
+	oldCells := make(map[key]benchCell, len(oldRep.Cells))
+	for _, c := range oldRep.Cells {
+		oldCells[key{c.Level, c.Acc}] = c
+	}
+
+	fmt.Printf("compare %s: %s -> %s (gate: ≤%.0f%% slower per cell, ≥%v floor)\n",
+		oldRep.Family, oldPath, newPath, compareMaxSlowdown*100, compareFloorNS)
+	fmt.Printf("%6s %10s %12s %12s %8s %8s\n", "level", "acc", "old", "new", "ratio", "sweeps")
+	var regressions []string
+	matched := 0
+	for _, nc := range newRep.Cells {
+		oc, ok := oldCells[key{nc.Level, nc.Acc}]
+		if !ok {
+			continue
+		}
+		matched++
+		ratio := float64(nc.WallNS) / float64(oc.WallNS)
+		sweeps := fmt.Sprintf("%d", nc.Sweeps)
+		if nc.Sweeps != oc.Sweeps {
+			sweeps = fmt.Sprintf("%d->%d", oc.Sweeps, nc.Sweeps)
+		}
+		flag := ""
+		if ratio > 1+compareMaxSlowdown && (oc.WallNS >= compareFloorNS || nc.WallNS >= compareFloorNS) {
+			flag = "  REGRESSION"
+			regressions = append(regressions,
+				fmt.Sprintf("level %d acc %.0e: %.2fx (%dns -> %dns)", nc.Level, nc.Acc, ratio, oc.WallNS, nc.WallNS))
+		}
+		fmt.Printf("%6d %10.0e %12d %12d %7.2fx %8s%s\n",
+			nc.Level, nc.Acc, oc.WallNS, nc.WallNS, ratio, sweeps, flag)
+	}
+	if matched == 0 {
+		return fmt.Errorf("compare: no cells in common between %s and %s", oldPath, newPath)
+	}
+	if len(regressions) > 0 {
+		fmt.Printf("FAIL: %d of %d cells regressed >%.0f%%\n", len(regressions), matched, compareMaxSlowdown*100)
+		for _, r := range regressions {
+			fmt.Println("  " + r)
+		}
+		return fmt.Errorf("compare: %d cells slowed down more than %.0f%%", len(regressions), compareMaxSlowdown*100)
+	}
+	fmt.Printf("OK: %d cells within the %.0f%% gate\n", matched, compareMaxSlowdown*100)
+	return nil
+}

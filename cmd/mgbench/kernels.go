@@ -1,0 +1,212 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"pbmg/internal/grid"
+	"pbmg/internal/sched"
+	"pbmg/internal/stencil"
+	"pbmg/internal/transfer"
+)
+
+// The kernels experiment is the fused-vs-unfused microbenchmark: for every
+// operator family and a set of sizes it times the V-cycle downstroke
+// (smooth → residual → restrict) and its component fusions both ways —
+// the separate oracle passes the cycle used to run, and the fused
+// single-pass kernels it runs now — and reports the speedup. With -json
+// the result lands in BENCH_kernels.json, making the fusion win a
+// committed machine-readable artifact per PR.
+
+// kernelCell is one (family, size, kernel) fused-vs-unfused measurement.
+type kernelCell struct {
+	Family string  `json:"family"`
+	Eps    float64 `json:"eps,omitempty"`
+	Dim    int     `json:"dim"`
+	N      int     `json:"n"`
+	// Kernel names the fused pass under test: "downstroke" (smooth +
+	// residual + restrict vs smooth + ResidualRestrict), "smooth+residual"
+	// (vs SmoothResidual), "sweep+norm" (vs SweepWithNorm), and
+	// "residual-norm" (serial vs pool-parallel ResidualNorm).
+	Kernel    string  `json:"kernel"`
+	UnfusedNS int64   `json:"unfusedNs"`
+	FusedNS   int64   `json:"fusedNs"`
+	Speedup   float64 `json:"speedup"`
+}
+
+// kernelsReport is the machine-readable fused-kernel baseline.
+type kernelsReport struct {
+	Workers int          `json:"workers"`
+	Steals  int64        `json:"steals"`
+	GoOS    string       `json:"goos"`
+	GoArch  string       `json:"goarch"`
+	Cells   []kernelCell `json:"cells"`
+}
+
+// benchBest times op over enough repetitions to damp scheduler noise and
+// returns the best observed duration. reset restores the mutated state
+// outside the timed region.
+func benchBest(reset, op func()) time.Duration {
+	const (
+		minReps   = 7
+		maxReps   = 200
+		timeLimit = 250 * time.Millisecond
+	)
+	best := time.Duration(1 << 62)
+	var spent time.Duration
+	for rep := 0; rep < maxReps && (rep < minReps || spent < timeLimit); rep++ {
+		reset()
+		start := time.Now()
+		op()
+		d := time.Since(start)
+		spent += d
+		if d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// kernelFamilies lists the benchmarked operators with their sizes: every
+// 2D family at the acceptance size N=129 and one size up, and the 3D
+// family at its acceptance size N=33 and one size up.
+func kernelFamilies() []struct {
+	name string
+	mk   func(n int) *stencil.Operator
+	eps  float64
+	ns   []int
+	dim  int
+} {
+	return []struct {
+		name string
+		mk   func(n int) *stencil.Operator
+		eps  float64
+		ns   []int
+		dim  int
+	}{
+		{"poisson", func(int) *stencil.Operator { return stencil.Poisson() }, 0, []int{129, 257}, 2},
+		{"aniso", func(int) *stencil.Operator { return stencil.Anisotropic(0.01) }, 0.01, []int{129, 257}, 2},
+		{"varcoef", func(n int) *stencil.Operator { return stencil.VarCoefOperator(stencil.CoefField(n, 2), 2) }, 2, []int{129, 257}, 2},
+		{"poisson3d", func(int) *stencil.Operator { return stencil.Poisson3D() }, 0, []int{33, 65}, 3},
+	}
+}
+
+// runKernels measures every family's fused and unfused passes and
+// optionally writes BENCH_kernels.json.
+func runKernels(workers int, seed int64, writeJSON bool, logf func(string, ...any)) error {
+	var pool *sched.Pool
+	if workers > 1 {
+		pool = sched.NewPool(workers)
+		defer pool.Close()
+	}
+	rep := kernelsReport{
+		Workers: workers,
+		GoOS:    runtime.GOOS,
+		GoArch:  runtime.GOARCH,
+	}
+
+	fmt.Printf("fused vs unfused cycle kernels, %d workers\n", workers)
+	fmt.Printf("%-10s %6s %-16s %12s %12s %8s\n", "family", "N", "kernel", "unfused", "fused", "speedup")
+	for _, fam := range kernelFamilies() {
+		for _, n := range fam.ns {
+			op := fam.mk(n)
+			h := 1.0 / float64(n-1)
+			omega := op.OmegaSmooth()
+			rng := rand.New(rand.NewSource(seed + int64(n)))
+			x0 := grid.NewDim(fam.dim, n)
+			b := grid.NewDim(fam.dim, n)
+			grid.FillRandom(x0, grid.Unbiased, rng)
+			grid.FillRandom(b, grid.Unbiased, rng)
+			x := x0.Clone()
+			r := grid.NewDim(fam.dim, n)
+			cb := grid.NewDim(fam.dim, grid.Coarsen(n))
+			reset := func() { x.CopyFrom(x0) }
+
+			if logf != nil {
+				logf("kernels: %s N=%d", fam.name, n)
+			}
+
+			emit := func(kernel string, unfused, fused time.Duration) {
+				cell := kernelCell{
+					Family: fam.name, Eps: fam.eps, Dim: fam.dim, N: n, Kernel: kernel,
+					UnfusedNS: unfused.Nanoseconds(), FusedNS: fused.Nanoseconds(),
+					Speedup: float64(unfused.Nanoseconds()) / float64(fused.Nanoseconds()),
+				}
+				rep.Cells = append(rep.Cells, cell)
+				fmt.Printf("%-10s %6d %-16s %12v %12v %7.2fx\n",
+					fam.name, n, kernel, unfused, fused, cell.Speedup)
+			}
+
+			// The V-cycle downstroke: one smoothing sweep, residual,
+			// restriction — as three separate passes vs the composed
+			// SmoothResidualRestrict kernel the cycle actually runs.
+			unfused := benchBest(reset, func() {
+				op.SORSweepRB(pool, x, b, h, omega)
+				op.Residual(pool, r, x, b, h)
+				transfer.Restrict(pool, cb, r)
+			})
+			fused := benchBest(reset, func() {
+				op.SmoothResidualRestrict(pool, cb, x, b, r, h, omega)
+			})
+			emit("downstroke", unfused, fused)
+
+			// The estimation-phase downstroke (no preceding smooth):
+			// residual + restrict vs the fused ResidualRestrict.
+			unfused = benchBest(reset, func() {
+				op.Residual(pool, r, x, b, h)
+				transfer.Restrict(pool, cb, r)
+			})
+			fused = benchBest(reset, func() {
+				op.ResidualRestrict(pool, cb, x, b, h)
+			})
+			emit("residual+restrict", unfused, fused)
+
+			unfused = benchBest(reset, func() {
+				op.SORSweepRB(pool, x, b, h, omega)
+				op.Residual(pool, r, x, b, h)
+			})
+			fused = benchBest(reset, func() {
+				op.SmoothResidual(pool, x, b, r, h, omega)
+			})
+			emit("smooth+residual", unfused, fused)
+
+			unfused = benchBest(reset, func() {
+				op.SORSweepRB(pool, x, b, h, omega)
+				op.ResidualNorm(pool, x, b, h)
+			})
+			fused = benchBest(reset, func() {
+				op.SweepWithNorm(pool, x, b, h, omega)
+			})
+			emit("sweep+norm", unfused, fused)
+
+			// The parallel-norm satellite: serial vs pool reduction (equal on
+			// one worker, informative on many).
+			unfused = benchBest(func() {}, func() {
+				op.ResidualNorm(nil, x, b, h)
+			})
+			fused = benchBest(func() {}, func() {
+				op.ResidualNorm(pool, x, b, h)
+			})
+			emit("residual-norm", unfused, fused)
+		}
+	}
+
+	if pool != nil {
+		rep.Steals = pool.Steals()
+	}
+	if writeJSON {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile("BENCH_kernels.json", append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Println("wrote BENCH_kernels.json")
+	}
+	return nil
+}

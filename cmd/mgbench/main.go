@@ -23,14 +23,18 @@ import (
 
 func main() {
 	exp := flag.String("exp", "all",
-		"experiment: complexity, fig6, fig7 (includes fig8), fig9, fig10, fig11, fig12, fig13, fig14, fig4, fig5, crosstrain, ablation-smoother, ablation-ladder, ablation-pareto, baseline, serve, or all")
+		"experiment: complexity, fig6, fig7 (includes fig8), fig9, fig10, fig11, fig12, fig13, fig14, fig4, fig5, crosstrain, ablation-smoother, ablation-ladder, ablation-pareto, baseline, serve, kernels, or all")
 	level := flag.Int("level", 8, "finest multigrid level (grid side 2^k+1)")
 	workers := flag.Int("workers", runtime.NumCPU(), "worker threads for wall-clock experiments")
 	seed := flag.Int64("seed", 20090101, "training/test seed")
 	family := flag.String("family", "poisson", "operator family for -exp baseline (poisson, aniso, varcoef, poisson3d)")
 	epsilon := flag.Float64("epsilon", 0, "family parameter for -exp baseline (0: family default)")
 	families := flag.String("families", "poisson,aniso,poisson3d", "family[:eps] list served by -exp serve")
-	jsonOut := flag.Bool("json", false, "with -exp baseline or -exp serve, also write BENCH_<family>.json / BENCH_serve.json for per-PR perf tracking")
+	jsonOut := flag.Bool("json", false, "with -exp baseline, serve, or kernels, also write BENCH_<family>.json / BENCH_serve.json / BENCH_kernels.json for per-PR perf tracking")
+	noFuse := flag.Bool("nofuse", false, "with -exp baseline, disable the fused cycle kernels (measures the pre-fusion pass structure)")
+	out := flag.String("out", "", "with -exp baseline -json, write the report to this path instead of BENCH_<family>.json")
+	compare := flag.String("compare", "",
+		"regression gate: compare this old baseline JSON against the new baseline JSON given as the positional argument; exit nonzero if any cell's wallNs slowed >15% (usage: mgbench -compare old.json new.json)")
 	quiet := flag.Bool("q", false, "suppress progress output")
 	flag.Parse()
 
@@ -41,8 +45,27 @@ func main() {
 		}
 	}
 
+	if *compare != "" {
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "mgbench: -compare needs exactly one positional argument (usage: mgbench -compare old.json new.json)")
+			os.Exit(2)
+		}
+		if err := runCompare(*compare, flag.Arg(0)); err != nil {
+			fmt.Fprintln(os.Stderr, "mgbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	if *exp == "baseline" {
-		if err := runBaseline(*family, *epsilon, *level, *workers, *seed, *jsonOut, logf); err != nil {
+		if err := runBaseline(*family, *epsilon, *level, *workers, *seed, *jsonOut, *noFuse, *out, logf); err != nil {
+			fmt.Fprintln(os.Stderr, "mgbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *exp == "kernels" {
+		if err := runKernels(*workers, *seed, *jsonOut, logf); err != nil {
 			fmt.Fprintln(os.Stderr, "mgbench:", err)
 			os.Exit(1)
 		}

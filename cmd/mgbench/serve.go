@@ -53,9 +53,12 @@ type serveReport struct {
 	Acc          float64           `json:"acc"`
 	WallNS       int64             `json:"wallNs"`
 	SolvesPerSec float64           `json:"solvesPerSec"`
-	Machine      string            `json:"machine"`
-	GoOS         string            `json:"goos"`
-	GoArch       string            `json:"goarch"`
+	// Steals is the shared worker pool's successful-steal count across the
+	// run — scheduler visibility (0 for serial runs).
+	Steals  int64  `json:"steals"`
+	Machine string `json:"machine"`
+	GoOS    string `json:"goos"`
+	GoArch  string `json:"goarch"`
 }
 
 // runServe tunes a registry for the requested families and drives the mixed
@@ -164,6 +167,7 @@ func runServe(familiesSpec string, level, workers int, seed int64, writeJSON boo
 	if m.Aggregate.Completed != int64(n) || m.Aggregate.Rejected != 0 {
 		return fmt.Errorf("serve: registry metrics disagree with workload: %+v for %d solves", m.Aggregate, n)
 	}
+	rep.Steals = r.PoolSteals()
 
 	if writeJSON {
 		data, err := json.MarshalIndent(rep, "", "  ")

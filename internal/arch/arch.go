@@ -101,20 +101,30 @@ func (m *Model) dim3() bool { return m.Dim == 3 }
 
 // Per-point operation intensities for the 5-point (2D) stencil kernels:
 // approximate flop and byte counts per interior grid point.
+//
+// The byte counts price the FUSED downstroke the executors now run
+// (stencil.Operator.ResidualRestrict): the residual pass streams x and b
+// but no longer writes a fine residual grid (48 → 40 bytes/point), and the
+// restriction consumes residual values from a cache-resident three-row
+// window instead of re-reading a fine grid from memory, leaving mostly its
+// coarse-grid write traffic (88 → 32 bytes/coarse point). The traversal
+// counts in the trace are unchanged — one EvResidual and one EvRestrict
+// per downstroke — only their memory intensity shrank.
 const (
 	relaxFlops, relaxBytes       = 8, 48
-	residualFlops, residualBytes = 7, 48
-	restrictFlops, restrictBytes = 12, 88
+	residualFlops, residualBytes = 7, 40
+	restrictFlops, restrictBytes = 12, 32
 	interpFlops, interpBytes     = 5, 48
 )
 
 // The 7-point (3D) counterparts: two more stencil reads per relaxation and
-// residual, a 27-point restriction, and a trilinear interpolation that
-// averages up to 8 coarse values.
+// residual, a 27-point restriction consuming the fused three-plane window,
+// and a trilinear interpolation that averages up to 8 coarse values. The
+// fused residual/restrict byte discounts mirror the 2D ones.
 const (
 	relaxFlops3, relaxBytes3       = 10, 64
-	residualFlops3, residualBytes3 = 9, 64
-	restrictFlops3, restrictBytes3 = 40, 120
+	residualFlops3, residualBytes3 = 9, 56
+	restrictFlops3, restrictBytes3 = 40, 48
 	interpFlops3, interpBytes3     = 7, 64
 )
 

@@ -65,17 +65,20 @@ func (a *AdaptiveSolver) Solve(x, b *grid.Grid, reduction float64, startSub int)
 		maxIters = 100
 	}
 	h := 1.0 / float64(x.N()-1)
+	pool := a.Ex.WS.Pool
 	op := a.Ex.WS.opAt(x.N())
-	r0 := op.ResidualNorm(x, b, h)
+	r0 := op.ResidualNorm(pool, x, b, h)
 	if r0 == 0 {
 		return AdaptiveResult{Reduction: math.Inf(1), FinalSub: startSub}
 	}
 	res := AdaptiveResult{FinalSub: startSub}
 	prev := r0
 	for res.Iters < maxIters {
-		a.Ex.Recurse(x, b, res.FinalSub)
+		// RecurseNorm folds the convergence probe into the step's final
+		// post-smoothing sweep — the per-iteration residual re-traversal
+		// this loop used to pay is gone.
+		cur := a.Ex.RecurseNorm(x, b, res.FinalSub)
 		res.Iters++
-		cur := op.ResidualNorm(x, b, h)
 		if cur <= r0/reduction || cur == 0 {
 			res.Reduction = safeRatio(r0, cur)
 			return res
@@ -88,7 +91,7 @@ func (a *AdaptiveSolver) Solve(x, b *grid.Grid, reduction float64, startSub int)
 		}
 		prev = cur
 	}
-	res.Reduction = safeRatio(r0, op.ResidualNorm(x, b, h))
+	res.Reduction = safeRatio(r0, op.ResidualNorm(pool, x, b, h))
 	return res
 }
 

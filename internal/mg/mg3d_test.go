@@ -42,19 +42,19 @@ func TestRefVCycle3DConverges(t *testing.T) {
 		x, b := random3DProblem(n, int64(n))
 		h := 1.0 / float64(n-1)
 		op := ws.Operator()
-		r0 := op.ResidualNorm(x, b, h)
+		r0 := op.ResidualNorm(nil, x, b, h)
 		cycles := 0
 		for ; cycles < 30; cycles++ {
 			ws.RefVCycle(x, b, nil)
-			if op.ResidualNorm(x, b, h) <= 1e-10*r0 {
+			if op.ResidualNorm(nil, x, b, h) <= 1e-10*r0 {
 				break
 			}
 		}
 		if cycles >= 30 {
 			t.Fatalf("N=%d: V-cycle did not reach 1e-10 relative residual in 30 cycles (%v of %v)",
-				n, op.ResidualNorm(x, b, h), r0)
+				n, op.ResidualNorm(nil, x, b, h), r0)
 		}
-		perCycle := math.Pow(r0/op.ResidualNorm(x, b, h), 1/float64(cycles+1))
+		perCycle := math.Pow(r0/op.ResidualNorm(nil, x, b, h), 1/float64(cycles+1))
 		if perCycle < 5 {
 			t.Fatalf("N=%d: contraction %.2f×/cycle is below multigrid rate", n, perCycle)
 		}
@@ -68,9 +68,9 @@ func TestRefFullMG3D(t *testing.T) {
 	ws := newWS3(nil)
 	x, b := random3DProblem(n, 7)
 	h := 1.0 / float64(n-1)
-	r0 := ws.Operator().ResidualNorm(x, b, h)
+	r0 := ws.Operator().ResidualNorm(nil, x, b, h)
 	ws.RefFullMG(x, b, nil)
-	if r := ws.Operator().ResidualNorm(x, b, h); r > 0.1*r0 {
+	if r := ws.Operator().ResidualNorm(nil, x, b, h); r > 0.1*r0 {
 		t.Fatalf("FMG pass left residual %v of initial %v", r, r0)
 	}
 }

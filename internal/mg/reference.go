@@ -49,15 +49,11 @@ func (ws *Workspace) RefFullMG(x, b *grid.Grid, rec Recorder) {
 		ws.SolveDirect(x, b, rec)
 		return
 	}
-	h := 1.0 / float64(n-1)
 	lvl := grid.Level(n)
 	bufs := ws.checkout(n)
 	defer ws.release(bufs)
 
-	ws.opAt(n).Residual(ws.Pool, bufs.r, x, b, h)
-	record(rec, EvResidual, lvl, 1)
-	transfer.Restrict(ws.Pool, bufs.cb, bufs.r)
-	record(rec, EvRestrict, lvl, 1)
+	ws.restrictResidual(x, b, bufs.cb, bufs.r, rec)
 	bufs.cx.Zero()
 	ws.RefFullMG(bufs.cx, bufs.cb, rec)
 	transfer.InterpolateAdd(ws.Pool, x, bufs.cx, bufs.scratch)

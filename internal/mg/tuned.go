@@ -62,6 +62,16 @@ func (e *Executor) Recurse(x, b *grid.Grid, subIdx int) {
 	})
 }
 
+// RecurseNorm performs one RECURSE_j step and returns ‖b − T·x‖₂ after its
+// post-smoothing sweep, with the norm reduction fused into that sweep. It
+// is the adaptive driver's per-iteration primitive: step and convergence
+// probe in one set of grid traversals.
+func (e *Executor) RecurseNorm(x, b *grid.Grid, subIdx int) float64 {
+	return e.WS.RecurseWithNorm(x, b, e.Rec, func(cx, cb *grid.Grid) {
+		e.SolveV(cx, cb, subIdx)
+	})
+}
+
 // SolveFull runs the tuned FULL-MULTIGRIDᵢ algorithm for accuracy index
 // accIdx on x in place.
 func (e *Executor) SolveFull(x, b *grid.Grid, accIdx int) {
@@ -106,15 +116,11 @@ func (e *Executor) SolveFull(x, b *grid.Grid, accIdx int) {
 // FULL-MULTIGRID_j, and apply the interpolated correction to x.
 func (e *Executor) Estimate(x, b *grid.Grid, estAcc int) {
 	n := x.N()
-	h := 1.0 / float64(n-1)
 	lvl := grid.Level(n)
 	bufs := e.WS.checkout(n)
 	defer e.WS.release(bufs)
 
-	e.WS.opAt(n).Residual(e.WS.Pool, bufs.r, x, b, h)
-	record(e.Rec, EvResidual, lvl, 1)
-	transfer.Restrict(e.WS.Pool, bufs.cb, bufs.r)
-	record(e.Rec, EvRestrict, lvl, 1)
+	e.WS.restrictResidual(x, b, bufs.cb, bufs.r, e.Rec)
 	bufs.cx.Zero()
 	e.SolveFull(bufs.cx, bufs.cb, estAcc)
 	transfer.InterpolateAdd(e.WS.Pool, x, bufs.cx, bufs.scratch)

@@ -49,6 +49,15 @@ type Workspace struct {
 	// share a single (typically bounded) cache. Like the other configuration
 	// fields it must be set before the workspace is shared across goroutines.
 	FactorCache *direct.Cache
+	// NoFuse disables the fused single-pass cycle kernels
+	// (SmoothResidualRestrict/ResidualRestrict on the downstroke,
+	// SweepWithNorm in norm-returning cycles) and runs the original
+	// separate smooth/residual/restrict/norm passes instead. The paths
+	// perform identical sweeps and agree on restrictions and norms to
+	// floating-point association (≤1e-12 of the data scale), so this is an
+	// escape hatch for benchmarking the fusion win (mgbench -nofuse) and
+	// for oracle testing, not a correctness knob.
+	NoFuse bool
 
 	cache direct.Cache // private factor-once cache when FactorCache is nil
 	arena sync.Map     // grid size -> *sync.Pool of *levelBufs
@@ -210,29 +219,99 @@ func (ws *Workspace) smooth(x, b, tmp *grid.Grid, sweeps int, rec Recorder) {
 	record(rec, EvRelax, grid.Level(n), sweeps)
 }
 
-// RecurseWith performs the shared coarse-grid-correction skeleton of
-// RECURSE and the reference V-cycle: pre-smooth, restrict the residual,
-// delegate the coarse error equation to coarseSolve, correct, post-smooth.
-// coarseSolve receives a zeroed coarse state and the restricted residual.
-func (ws *Workspace) RecurseWith(x, b *grid.Grid, rec Recorder, coarseSolve func(cx, cb *grid.Grid)) {
+// restrictResidual computes the coarse right-hand side cb = R·(b − T·x) at
+// size n. The default path is the fused ResidualRestrict kernel, which
+// streams the fine grid once and never materializes the fine residual;
+// with NoFuse set it runs the original residual pass into the scratch grid
+// r followed by a separate restriction — the oracle the fused path matches
+// to floating-point association (≤1e-12 of the data scale; in 2D the
+// window weights even apply in the oracle's order, in 3D they apply
+// separably). Both paths record one EvResidual and one EvRestrict:
+// the trace counts logical operations, and the architecture cost model
+// prices their (now fused) traversal intensities.
+func (ws *Workspace) restrictResidual(x, b, cb, r *grid.Grid, rec Recorder) {
 	n := x.N()
-	if n == 3 {
-		ws.SolveDirect(x, b, rec)
+	h := 1.0 / float64(n-1)
+	lvl := grid.Level(n)
+	op := ws.opAt(n)
+	if ws.NoFuse {
+		op.Residual(ws.Pool, r, x, b, h)
+		record(rec, EvResidual, lvl, 1)
+		transfer.Restrict(ws.Pool, cb, r)
+		record(rec, EvRestrict, lvl, 1)
 		return
 	}
+	op.ResidualRestrict(ws.Pool, cb, x, b, h)
+	record(rec, EvResidual, lvl, 1)
+	record(rec, EvRestrict, lvl, 1)
+}
+
+// RecurseWith performs the shared coarse-grid-correction skeleton of
+// RECURSE and the reference V-cycle: pre-smooth, restrict the residual
+// (fused into one fine-grid pass), delegate the coarse error equation to
+// coarseSolve, correct, post-smooth. coarseSolve receives a zeroed coarse
+// state and the restricted residual.
+func (ws *Workspace) RecurseWith(x, b *grid.Grid, rec Recorder, coarseSolve func(cx, cb *grid.Grid)) {
+	ws.recurseWith(x, b, rec, coarseSolve, nil)
+}
+
+// RecurseWithNorm is RecurseWith fused with the convergence probe: it also
+// returns ‖b − T·x‖₂ after the final post-smoothing sweep, computed inside
+// that sweep (SweepWithNorm) instead of by a separate residual traversal.
+// Adaptive drivers call it once per iteration, so the fold removes one
+// full-grid pass per step at the finest level.
+func (ws *Workspace) RecurseWithNorm(x, b *grid.Grid, rec Recorder, coarseSolve func(cx, cb *grid.Grid)) float64 {
+	var norm float64
+	ws.recurseWith(x, b, rec, coarseSolve, &norm)
+	return norm
+}
+
+func (ws *Workspace) recurseWith(x, b *grid.Grid, rec Recorder, coarseSolve func(cx, cb *grid.Grid), norm *float64) {
+	n := x.N()
 	h := 1.0 / float64(n-1)
+	op := ws.opAt(n)
+	if n == 3 {
+		ws.SolveDirect(x, b, rec)
+		if norm != nil {
+			*norm = op.ResidualNorm(ws.Pool, x, b, h)
+		}
+		return
+	}
 	lvl := grid.Level(n)
 	bufs := ws.checkout(n)
 	defer ws.release(bufs)
 
-	ws.smooth(x, b, bufs.scratch, 1, rec)
-	ws.opAt(n).Residual(ws.Pool, bufs.r, x, b, h)
-	record(rec, EvResidual, lvl, 1)
-	transfer.Restrict(ws.Pool, bufs.cb, bufs.r)
-	record(rec, EvRestrict, lvl, 1)
+	// Downstroke: pre-smooth, residual, restrict. With the SOR smoother the
+	// three passes run as one composed kernel — the sweep's black half
+	// emits its residuals for free and the fused restriction evaluates the
+	// red half on the fly — so the fine grid is never re-traversed for a
+	// standalone residual pass. The Jacobi ablation and the NoFuse oracle
+	// keep the separate passes.
+	if ws.Smoother == SmootherSOR && !ws.NoFuse {
+		op.SmoothResidualRestrict(ws.Pool, bufs.cb, x, b, bufs.r, h, op.OmegaSmooth())
+		record(rec, EvRelax, lvl, 1)
+		record(rec, EvResidual, lvl, 1)
+		record(rec, EvRestrict, lvl, 1)
+	} else {
+		ws.smooth(x, b, bufs.scratch, 1, rec)
+		ws.restrictResidual(x, b, bufs.cb, bufs.r, rec)
+	}
 	bufs.cx.Zero()
 	coarseSolve(bufs.cx, bufs.cb)
 	transfer.InterpolateAdd(ws.Pool, x, bufs.cx, bufs.scratch)
 	record(rec, EvInterp, lvl, 1)
+	if norm == nil {
+		ws.smooth(x, b, bufs.scratch, 1, rec)
+		return
+	}
+	// Norm-returning post-smooth: the SOR smoother folds the residual
+	// reduction into its final sweep; the Jacobi ablation (and the NoFuse
+	// oracle) fall back to a separate deterministic norm pass.
+	if ws.Smoother == SmootherSOR && !ws.NoFuse {
+		*norm = op.SweepWithNorm(ws.Pool, x, b, h, op.OmegaSmooth())
+		record(rec, EvRelax, lvl, 1)
+		return
+	}
 	ws.smooth(x, b, bufs.scratch, 1, rec)
+	*norm = op.ResidualNorm(ws.Pool, x, b, h)
 }

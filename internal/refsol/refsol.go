@@ -82,12 +82,12 @@ func Compute(p *problem.Problem, pool *sched.Pool) *grid.Grid {
 	scale := grid.L2Interior(p.B) + grid.MaxAbsInterior(p.Boundary) + 1
 	ws.RefFullMG(x, p.B, nil)
 	for c := 0; c < cycles; c++ {
-		if op.At(p.N).ResidualNorm(x, p.B, p.H) <= relResidualTarget*scale {
+		if op.At(p.N).ResidualNorm(pool, x, p.B, p.H) <= relResidualTarget*scale {
 			break
 		}
 		ws.RefVCycle(x, p.B, nil)
 	}
-	if op.At(p.N).ResidualNorm(x, p.B, p.H) > stalledResidualFactor*relResidualTarget*scale {
+	if op.At(p.N).ResidualNorm(pool, x, p.B, p.H) > stalledResidualFactor*relResidualTarget*scale {
 		// The V-cycle budget ran out far from the floor: point smoothers can
 		// stall outright for strong anisotropy or rough coefficients at
 		// large N. A stalled reference would silently mis-grade every

@@ -89,7 +89,7 @@ func TestComputeStalledMultigridFallsBackToDirect(t *testing.T) {
 	p := problem.RandomOp(257, grid.Unbiased, rand.New(rand.NewSource(6)), op)
 	x := Compute(p, nil)
 	scale := grid.L2Interior(p.B) + grid.MaxAbsInterior(p.Boundary) + 1
-	res := op.ResidualNorm(x, p.B, p.H)
+	res := op.ResidualNorm(nil, x, p.B, p.H)
 	if res > stalledResidualFactor*relResidualTarget*scale {
 		t.Fatalf("stalled reference returned: residual %v (scale %v)", res, scale)
 	}

@@ -1,0 +1,704 @@
+// Fused single-pass cycle kernels (2D). On a memory-bandwidth-bound stencil
+// code the separate smooth / residual / restrict / norm passes of a V-cycle
+// each re-stream the whole grid, and those redundant traversals — not flops —
+// dominate the wall clock. This file fuses them:
+//
+//   - SmoothResidual: one full red-black SOR sweep that also emits the
+//     post-sweep residual grid. Black points get their residual for free
+//     from the update delta (after the black half-sweep every neighbour of
+//     a black point is final, so r = C·(1−ω)·(gs − x_old)/h², exactly); red
+//     points need a fixup half-pass, half the traversal of the standalone
+//     Residual kernel.
+//   - SmoothResidualRestrict: the whole V-cycle downstroke — smoothing
+//     sweep, residual, full-weighting restriction — as one composed kernel:
+//     BOTH half-sweeps emit their update deltas into r, a half-traversal
+//     gather over r alone reconstructs the red residuals from their black
+//     neighbours' stored deltas (gatherFixup), and the restriction consumes
+//     the finished grid. The standalone residual pass — a full extra read
+//     of x and b — disappears from the downstroke entirely.
+//   - SweepWithNorm: the sweep shape of SmoothResidual, but reducing
+//     ‖b − T·x‖₂ instead of materializing r — the adaptive driver's
+//     per-iteration convergence probe folded into the smoothing it already
+//     pays for.
+//
+// Norm reductions accumulate per interior row into a fixed per-row partial
+// sum array and add the rows in index order at the end, so the result is
+// bit-identical for any worker count and any chunking — the deterministic
+// fixed-chunk reduction contract the adaptive driver and refsol rely on.
+//
+// The unfused kernels in stencil.go/operator.go remain the oracle: the
+// fused paths are exercised against them point-for-point by the equivalence
+// and fuzz suites. Iterates are bit-identical to the unfused sweep; fused
+// residual/restriction values agree to floating-point association (≤1e-12
+// of the data scale) where a derivation or summation order differs.
+package stencil
+
+import (
+	"math"
+
+	"pbmg/internal/grid"
+	"pbmg/internal/sched"
+	"pbmg/internal/transfer"
+)
+
+// sumRows adds per-row partial sums in index order and returns the L2 norm.
+func sumRows(sums []float64, n int) float64 {
+	var total float64
+	for i := 1; i < n-1; i++ {
+		total += sums[i]
+	}
+	return math.Sqrt(total)
+}
+
+// gatherMinOneMinusOmega gates the delta-gather downstroke: reconstructing
+// red residuals from stored black residuals divides by C·(1−ω), so the
+// reconstruction is used only when |1−ω| is large enough that the division
+// does not amplify rounding error past the fused kernels' 1e-12 contract.
+// The gathered correction κ·r_black = ω·c·d/h² is itself well-conditioned
+// (the (1−ω) factors cancel); what is amplified is only r_black's own
+// rounding, giving a reconstruction error of order eps·ω/(C·|1−ω|) relative
+// to the residual scale — ≈6e-14 at the gate, a 16× margin. Below the gate
+// (including plain Gauss-Seidel, ω = 1, where the stored deltas vanish
+// identically) the composed kernel evaluates red residuals directly from
+// (x, b). Every in-cycle smoothing weight the operator families use
+// (stencil.Operator.OmegaSmooth; the smallest is 1 + 0.15·ε for strong
+// anisotropy, ≥ the gate for ε ≥ 0.0067) takes the gather path.
+const gatherMinOneMinusOmega = 1e-3
+
+// redHalfSweep is SORSweepRB's color-0 half-sweep for the Laplacian.
+func redHalfSweep(pool *sched.Pool, x, b *grid.Grid, h2, omega float64) {
+	n := x.N()
+	parallelRows(pool, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			xr := x.Row(i)
+			up := x.Row(i - 1)
+			down := x.Row(i + 1)
+			br := b.Row(i)
+			for j := 1 + (i+1)%2; j < n-1; j += 2 {
+				gs := (up[j] + down[j] + xr[j-1] + xr[j+1] + h2*br[j]) * 0.25
+				xr[j] += omega * (gs - xr[j])
+			}
+		}
+	})
+}
+
+// redHalfSweepEmit is the color-0 half-sweep, emitting each red point's
+// MID-sweep residual into r as it relaxes: at the moment a red point is
+// relaxed all its (black) neighbours hold the values its Gauss-Seidel
+// average read, so the update delta gives the residual of that
+// intermediate state exactly — r' = 4·(1−ω)·(gs − x_old)/h². The black
+// half-sweep then moves the neighbours, and the fused restriction
+// reconstructs the final red residual by gathering the neighbours' stored
+// deltas (gatherFixup).
+func redHalfSweepEmit(pool *sched.Pool, x, b, r *grid.Grid, h2, omega, rFac float64) {
+	n := x.N()
+	parallelRows(pool, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			xr := x.Row(i)
+			up := x.Row(i - 1)
+			down := x.Row(i + 1)
+			br := b.Row(i)
+			rr := r.Row(i)
+			for j := 1 + (i+1)%2; j < n-1; j += 2 {
+				gs := (up[j] + down[j] + xr[j-1] + xr[j+1] + h2*br[j]) * 0.25
+				d := gs - xr[j]
+				xr[j] += omega * d
+				rr[j] = rFac * d
+			}
+		}
+	})
+}
+
+// blackHalfSweepEmit is the color-1 half-sweep, emitting each black point's
+// post-sweep residual into r as it relaxes: every neighbour of a black
+// point is final, so r = 4·(1−ω)·(gs − x_old)/h² exactly.
+func blackHalfSweepEmit(pool *sched.Pool, x, b, r *grid.Grid, h2, omega, rFac float64) {
+	n := x.N()
+	parallelRows(pool, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			xr := x.Row(i)
+			up := x.Row(i - 1)
+			down := x.Row(i + 1)
+			br := b.Row(i)
+			rr := r.Row(i)
+			for j := 1 + i%2; j < n-1; j += 2 {
+				gs := (up[j] + down[j] + xr[j-1] + xr[j+1] + h2*br[j]) * 0.25
+				d := gs - xr[j]
+				xr[j] += omega * d
+				rr[j] = rFac * d
+			}
+		}
+	})
+}
+
+// redFixup evaluates the post-sweep residual at red points directly from
+// the final iterate — the same expression (and therefore the same bits) as
+// the unfused Residual kernel.
+func redFixup(pool *sched.Pool, x, b, r *grid.Grid, inv float64) {
+	n := x.N()
+	parallelRows(pool, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			xr := x.Row(i)
+			up := x.Row(i - 1)
+			down := x.Row(i + 1)
+			br := b.Row(i)
+			rr := r.Row(i)
+			for j := 1 + (i+1)%2; j < n-1; j += 2 {
+				rr[j] = br[j] - (4*xr[j]-up[j]-down[j]-xr[j-1]-xr[j+1])*inv
+			}
+		}
+	})
+}
+
+// gatherFixup completes a residual grid emitted by the two half-sweeps in
+// place, reading ONLY r: black entries are already final residuals, and
+// each red entry holds its mid-sweep residual, which the black neighbours'
+// subsequent moves shifted by κ-weighted sums of their stored residuals —
+// r_red += ky·(up+down) + kx·(west+east), where k• = ω·c•/(C·(1−ω)) folds
+// the face weight and the delta encoding together. One half-traversal of a
+// single grid replaces the full (x, b)-reading residual evaluation at red
+// points; x and b are never touched.
+func gatherFixup(pool *sched.Pool, r *grid.Grid, kx, ky float64) {
+	n := r.N()
+	parallelRows(pool, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			rr := r.Row(i)
+			up := r.Row(i - 1)
+			down := r.Row(i + 1)
+			for j := 1 + (i+1)%2; j < n-1; j += 2 {
+				rr[j] += ky*(up[j]+down[j]) + kx*(rr[j-1]+rr[j+1])
+			}
+		}
+	})
+}
+
+// SmoothResidual performs one full red-black SOR sweep in place on x and
+// leaves r = b − T·x (post-sweep) with a zeroed boundary, in one fused
+// traversal less than SORSweepRB followed by Residual. x is bit-identical
+// to the unfused sweep; r matches the unfused residual bit-identically at
+// red (i+j even) points and to rounding error at black points, where it is
+// derived from the update delta instead of re-evaluated. r must not alias
+// x or b.
+func SmoothResidual(pool *sched.Pool, x, b, r *grid.Grid, h, omega float64) {
+	h2 := h * h
+	inv := 1 / h2
+	r.ZeroBoundary()
+	redHalfSweep(pool, x, b, h2, omega)
+	blackHalfSweepEmit(pool, x, b, r, h2, omega, 4*(1-omega)*inv)
+	redFixup(pool, x, b, r, inv)
+}
+
+// smoothResidualRestrict is the composed V-cycle downstroke for the
+// Laplacian: sweep, residual, restriction. Away from ω = 1 both
+// half-sweeps emit their update deltas into r and gatherFixup completes it
+// reading r alone; near ω = 1 the deltas degenerate and the SmoothResidual
+// path (direct red evaluation) is used instead. Either way r ends up
+// holding the full post-sweep residual and the oracle Restrict consumes
+// it — so the three logical passes cost one (x, b) traversal plus a half
+// r-traversal more than the sweep alone.
+func smoothResidualRestrict(pool *sched.Pool, coarse, x, b, r *grid.Grid, h, omega float64) {
+	h2 := h * h
+	inv := 1 / h2
+	rFac := 4 * (1 - omega) * inv
+	if om := 1 - omega; om >= gatherMinOneMinusOmega || om <= -gatherMinOneMinusOmega {
+		r.ZeroBoundary()
+		redHalfSweepEmit(pool, x, b, r, h2, omega, rFac)
+		blackHalfSweepEmit(pool, x, b, r, h2, omega, rFac)
+		k := omega / (4 * (1 - omega))
+		gatherFixup(pool, r, k, k)
+	} else {
+		SmoothResidual(pool, x, b, r, h, omega)
+	}
+	transfer.Restrict(pool, coarse, r)
+}
+
+// SweepWithNorm performs one full red-black SOR sweep in place on x and
+// returns ‖b − T·x‖₂ over interior points after the sweep, without a
+// separate residual traversal. The reduction is deterministic for any pool.
+func SweepWithNorm(pool *sched.Pool, x, b *grid.Grid, h, omega float64) float64 {
+	n := x.N()
+	h2 := h * h
+	inv := 1 / h2
+	rFac := 4 * (1 - omega) * inv
+	sums := make([]float64, n)
+	redHalfSweep(pool, x, b, h2, omega)
+	parallelRows(pool, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			xr := x.Row(i)
+			up := x.Row(i - 1)
+			down := x.Row(i + 1)
+			br := b.Row(i)
+			var s float64
+			for j := 1 + i%2; j < n-1; j += 2 {
+				gs := (up[j] + down[j] + xr[j-1] + xr[j+1] + h2*br[j]) * 0.25
+				d := gs - xr[j]
+				xr[j] += omega * d
+				rb := rFac * d
+				s += rb * rb
+			}
+			sums[i] = s
+		}
+	})
+	parallelRows(pool, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			xr := x.Row(i)
+			up := x.Row(i - 1)
+			down := x.Row(i + 1)
+			br := b.Row(i)
+			s := sums[i]
+			for j := 1 + (i+1)%2; j < n-1; j += 2 {
+				rv := br[j] - (4*xr[j]-up[j]-down[j]-xr[j-1]-xr[j+1])*inv
+				s += rv * rv
+			}
+			sums[i] = s
+		}
+	})
+	return sumRows(sums, n)
+}
+
+// residualNormPar is the pool-parallel, deterministically chunked
+// counterpart of ResidualNorm for the constant-coefficient Laplacian.
+func residualNormPar(pool *sched.Pool, x, b *grid.Grid, h float64) float64 {
+	n := x.N()
+	inv := 1 / (h * h)
+	sums := make([]float64, n)
+	parallelRows(pool, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			xr := x.Row(i)
+			up := x.Row(i - 1)
+			down := x.Row(i + 1)
+			br := b.Row(i)
+			var s float64
+			for j := 1; j < n-1; j++ {
+				r := br[j] - (4*xr[j]-up[j]-down[j]-xr[j-1]-xr[j+1])*inv
+				s += r * r
+			}
+			sums[i] = s
+		}
+	})
+	return sumRows(sums, n)
+}
+
+// residualRowPoisson returns a provider computing interior fine residual
+// rows of the Laplacian for transfer.RestrictResidual. The per-point
+// expression is the unfused Residual kernel's.
+func residualRowPoisson(x, b *grid.Grid, inv float64) func(fi int, dst []float64) {
+	n := x.N()
+	return func(fi int, dst []float64) {
+		xr := x.Row(fi)
+		up := x.Row(fi - 1)
+		down := x.Row(fi + 1)
+		br := b.Row(fi)
+		dst[0], dst[n-1] = 0, 0
+		for j := 1; j < n-1; j++ {
+			dst[j] = br[j] - (4*xr[j]-up[j]-down[j]-xr[j-1]-xr[j+1])*inv
+		}
+	}
+}
+
+// --- constant-coefficient stencil (horizontal weight cx, vertical cy) ---
+
+func redHalfSweepConst(pool *sched.Pool, x, b *grid.Grid, h2, omega, cx, cy, invC float64) {
+	n := x.N()
+	parallelRows(pool, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			xr := x.Row(i)
+			up := x.Row(i - 1)
+			down := x.Row(i + 1)
+			br := b.Row(i)
+			for j := 1 + (i+1)%2; j < n-1; j += 2 {
+				gs := (cy*(up[j]+down[j]) + cx*(xr[j-1]+xr[j+1]) + h2*br[j]) * invC
+				xr[j] += omega * (gs - xr[j])
+			}
+		}
+	})
+}
+
+// redHalfSweepEmitConst emits each red point's mid-sweep residual from the
+// update delta (see redHalfSweepEmit).
+func redHalfSweepEmitConst(pool *sched.Pool, x, b, r *grid.Grid, h2, omega, cx, cy, invC, rFac float64) {
+	n := x.N()
+	parallelRows(pool, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			xr := x.Row(i)
+			up := x.Row(i - 1)
+			down := x.Row(i + 1)
+			br := b.Row(i)
+			rr := r.Row(i)
+			for j := 1 + (i+1)%2; j < n-1; j += 2 {
+				gs := (cy*(up[j]+down[j]) + cx*(xr[j-1]+xr[j+1]) + h2*br[j]) * invC
+				d := gs - xr[j]
+				xr[j] += omega * d
+				rr[j] = rFac * d
+			}
+		}
+	})
+}
+
+func blackHalfSweepEmitConst(pool *sched.Pool, x, b, r *grid.Grid, h2, omega, cx, cy, invC, rFac float64) {
+	n := x.N()
+	parallelRows(pool, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			xr := x.Row(i)
+			up := x.Row(i - 1)
+			down := x.Row(i + 1)
+			br := b.Row(i)
+			rr := r.Row(i)
+			for j := 1 + i%2; j < n-1; j += 2 {
+				gs := (cy*(up[j]+down[j]) + cx*(xr[j-1]+xr[j+1]) + h2*br[j]) * invC
+				d := gs - xr[j]
+				xr[j] += omega * d
+				rr[j] = rFac * d
+			}
+		}
+	})
+}
+
+func redFixupConst(pool *sched.Pool, x, b, r *grid.Grid, inv, cx, cy, center float64) {
+	n := x.N()
+	parallelRows(pool, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			xr := x.Row(i)
+			up := x.Row(i - 1)
+			down := x.Row(i + 1)
+			br := b.Row(i)
+			rr := r.Row(i)
+			for j := 1 + (i+1)%2; j < n-1; j += 2 {
+				rr[j] = br[j] - (center*xr[j]-cy*(up[j]+down[j])-cx*(xr[j-1]+xr[j+1]))*inv
+			}
+		}
+	})
+}
+
+// smoothResidualConst is SmoothResidual for a constant-coefficient stencil.
+func smoothResidualConst(pool *sched.Pool, x, b, r *grid.Grid, h, omega, cx, cy float64) {
+	h2 := h * h
+	inv := 1 / h2
+	center := 2 * (cx + cy)
+	invC := 1 / center
+	r.ZeroBoundary()
+	redHalfSweepConst(pool, x, b, h2, omega, cx, cy, invC)
+	blackHalfSweepEmitConst(pool, x, b, r, h2, omega, cx, cy, invC, center*(1-omega)*inv)
+	redFixupConst(pool, x, b, r, inv, cx, cy, center)
+}
+
+// smoothResidualRestrictConst is the composed downstroke for a
+// constant-coefficient stencil (see smoothResidualRestrict): the gather
+// weights fold the face coefficients, k• = ω·c•/(C·(1−ω)).
+func smoothResidualRestrictConst(pool *sched.Pool, coarse, x, b, r *grid.Grid, h, omega, cx, cy float64) {
+	h2 := h * h
+	inv := 1 / h2
+	center := 2 * (cx + cy)
+	invC := 1 / center
+	rFac := center * (1 - omega) * inv
+	if om := 1 - omega; om >= gatherMinOneMinusOmega || om <= -gatherMinOneMinusOmega {
+		r.ZeroBoundary()
+		redHalfSweepEmitConst(pool, x, b, r, h2, omega, cx, cy, invC, rFac)
+		blackHalfSweepEmitConst(pool, x, b, r, h2, omega, cx, cy, invC, rFac)
+		k := omega / (center * (1 - omega))
+		gatherFixup(pool, r, k*cx, k*cy)
+	} else {
+		smoothResidualConst(pool, x, b, r, h, omega, cx, cy)
+	}
+	transfer.Restrict(pool, coarse, r)
+}
+
+// sweepWithNormConst is SweepWithNorm for a constant-coefficient stencil.
+func sweepWithNormConst(pool *sched.Pool, x, b *grid.Grid, h, omega, cx, cy float64) float64 {
+	n := x.N()
+	h2 := h * h
+	inv := 1 / h2
+	center := 2 * (cx + cy)
+	invC := 1 / center
+	rFac := center * (1 - omega) * inv
+	sums := make([]float64, n)
+	redHalfSweepConst(pool, x, b, h2, omega, cx, cy, invC)
+	parallelRows(pool, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			xr := x.Row(i)
+			up := x.Row(i - 1)
+			down := x.Row(i + 1)
+			br := b.Row(i)
+			var s float64
+			for j := 1 + i%2; j < n-1; j += 2 {
+				gs := (cy*(up[j]+down[j]) + cx*(xr[j-1]+xr[j+1]) + h2*br[j]) * invC
+				d := gs - xr[j]
+				xr[j] += omega * d
+				rb := rFac * d
+				s += rb * rb
+			}
+			sums[i] = s
+		}
+	})
+	parallelRows(pool, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			xr := x.Row(i)
+			up := x.Row(i - 1)
+			down := x.Row(i + 1)
+			br := b.Row(i)
+			s := sums[i]
+			for j := 1 + (i+1)%2; j < n-1; j += 2 {
+				rv := br[j] - (center*xr[j]-cy*(up[j]+down[j])-cx*(xr[j-1]+xr[j+1]))*inv
+				s += rv * rv
+			}
+			sums[i] = s
+		}
+	})
+	return sumRows(sums, n)
+}
+
+// residualNormParConst is the parallel deterministic residual norm for a
+// constant-coefficient stencil.
+func residualNormParConst(pool *sched.Pool, x, b *grid.Grid, h, cx, cy float64) float64 {
+	n := x.N()
+	inv := 1 / (h * h)
+	center := 2 * (cx + cy)
+	sums := make([]float64, n)
+	parallelRows(pool, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			xr := x.Row(i)
+			up := x.Row(i - 1)
+			down := x.Row(i + 1)
+			br := b.Row(i)
+			var s float64
+			for j := 1; j < n-1; j++ {
+				r := br[j] - (center*xr[j]-cy*(up[j]+down[j])-cx*(xr[j-1]+xr[j+1]))*inv
+				s += r * r
+			}
+			sums[i] = s
+		}
+	})
+	return sumRows(sums, n)
+}
+
+// residualRowConst is the residual row provider for a constant-coefficient
+// stencil.
+func residualRowConst(x, b *grid.Grid, inv, cx, cy float64) func(fi int, dst []float64) {
+	n := x.N()
+	center := 2 * (cx + cy)
+	return func(fi int, dst []float64) {
+		xr := x.Row(fi)
+		up := x.Row(fi - 1)
+		down := x.Row(fi + 1)
+		br := b.Row(fi)
+		dst[0], dst[n-1] = 0, 0
+		for j := 1; j < n-1; j++ {
+			dst[j] = br[j] - (center*xr[j]-cy*(up[j]+down[j])-cx*(xr[j-1]+xr[j+1]))*inv
+		}
+	}
+}
+
+// --- variable-coefficient stencil (nodal field c) ---
+
+func redHalfSweepVar(pool *sched.Pool, x, b *grid.Grid, h2, omega float64, c *grid.Grid) {
+	n := x.N()
+	parallelRows(pool, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			xr := x.Row(i)
+			up := x.Row(i - 1)
+			down := x.Row(i + 1)
+			br := b.Row(i)
+			cr := c.Row(i)
+			cu := c.Row(i - 1)
+			cd := c.Row(i + 1)
+			for j := 1 + (i+1)%2; j < n-1; j += 2 {
+				cc := cr[j]
+				cn := 0.5 * (cc + cu[j])
+				cs := 0.5 * (cc + cd[j])
+				cw := 0.5 * (cc + cr[j-1])
+				ce := 0.5 * (cc + cr[j+1])
+				gs := (cn*up[j] + cs*down[j] + cw*xr[j-1] + ce*xr[j+1] + h2*br[j]) / (cn + cs + cw + ce)
+				xr[j] += omega * (gs - xr[j])
+			}
+		}
+	})
+}
+
+func blackHalfSweepEmitVar(pool *sched.Pool, x, b, r *grid.Grid, h2, omega, inv float64, c *grid.Grid) {
+	n := x.N()
+	oneMinus := 1 - omega
+	parallelRows(pool, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			xr := x.Row(i)
+			up := x.Row(i - 1)
+			down := x.Row(i + 1)
+			br := b.Row(i)
+			cr := c.Row(i)
+			cu := c.Row(i - 1)
+			cd := c.Row(i + 1)
+			rr := r.Row(i)
+			for j := 1 + i%2; j < n-1; j += 2 {
+				cc := cr[j]
+				cn := 0.5 * (cc + cu[j])
+				cs := 0.5 * (cc + cd[j])
+				cw := 0.5 * (cc + cr[j-1])
+				ce := 0.5 * (cc + cr[j+1])
+				center := cn + cs + cw + ce
+				gs := (cn*up[j] + cs*down[j] + cw*xr[j-1] + ce*xr[j+1] + h2*br[j]) / center
+				d := gs - xr[j]
+				xr[j] += omega * d
+				rr[j] = center * oneMinus * d * inv
+			}
+		}
+	})
+}
+
+func redFixupVar(pool *sched.Pool, x, b, r *grid.Grid, inv float64, c *grid.Grid) {
+	n := x.N()
+	parallelRows(pool, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			xr := x.Row(i)
+			up := x.Row(i - 1)
+			down := x.Row(i + 1)
+			br := b.Row(i)
+			cr := c.Row(i)
+			cu := c.Row(i - 1)
+			cd := c.Row(i + 1)
+			rr := r.Row(i)
+			for j := 1 + (i+1)%2; j < n-1; j += 2 {
+				cc := cr[j]
+				cn := 0.5 * (cc + cu[j])
+				cs := 0.5 * (cc + cd[j])
+				cw := 0.5 * (cc + cr[j-1])
+				ce := 0.5 * (cc + cr[j+1])
+				rr[j] = br[j] - ((cn+cs+cw+ce)*xr[j]-cn*up[j]-cs*down[j]-cw*xr[j-1]-ce*xr[j+1])*inv
+			}
+		}
+	})
+}
+
+// smoothResidualVar is SmoothResidual for a variable-coefficient stencil.
+func smoothResidualVar(pool *sched.Pool, x, b, r *grid.Grid, h, omega float64, c *grid.Grid) {
+	h2 := h * h
+	inv := 1 / h2
+	r.ZeroBoundary()
+	redHalfSweepVar(pool, x, b, h2, omega, c)
+	blackHalfSweepEmitVar(pool, x, b, r, h2, omega, inv, c)
+	redFixupVar(pool, x, b, r, inv, c)
+}
+
+// smoothResidualRestrictVar is the composed downstroke for a
+// variable-coefficient stencil. The delta-gather reconstruction does not
+// pay here — undoing a neighbour's delta encoding needs the neighbour's
+// center coefficient, which costs the same face-average arithmetic as
+// evaluating the red residual directly — so the downstroke is the fused
+// SmoothResidual (black residuals still come free from the sweep) followed
+// by the oracle restriction.
+func smoothResidualRestrictVar(pool *sched.Pool, coarse, x, b, r *grid.Grid, h, omega float64, c *grid.Grid) {
+	smoothResidualVar(pool, x, b, r, h, omega, c)
+	transfer.Restrict(pool, coarse, r)
+}
+
+// sweepWithNormVar is SweepWithNorm for a variable-coefficient stencil.
+func sweepWithNormVar(pool *sched.Pool, x, b *grid.Grid, h, omega float64, c *grid.Grid) float64 {
+	n := x.N()
+	h2 := h * h
+	inv := 1 / h2
+	oneMinus := 1 - omega
+	sums := make([]float64, n)
+	redHalfSweepVar(pool, x, b, h2, omega, c)
+	parallelRows(pool, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			xr := x.Row(i)
+			up := x.Row(i - 1)
+			down := x.Row(i + 1)
+			br := b.Row(i)
+			cr := c.Row(i)
+			cu := c.Row(i - 1)
+			cd := c.Row(i + 1)
+			var s float64
+			for j := 1 + i%2; j < n-1; j += 2 {
+				cc := cr[j]
+				cn := 0.5 * (cc + cu[j])
+				cs := 0.5 * (cc + cd[j])
+				cw := 0.5 * (cc + cr[j-1])
+				ce := 0.5 * (cc + cr[j+1])
+				center := cn + cs + cw + ce
+				gs := (cn*up[j] + cs*down[j] + cw*xr[j-1] + ce*xr[j+1] + h2*br[j]) / center
+				d := gs - xr[j]
+				xr[j] += omega * d
+				rb := center * oneMinus * d * inv
+				s += rb * rb
+			}
+			sums[i] = s
+		}
+	})
+	parallelRows(pool, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			xr := x.Row(i)
+			up := x.Row(i - 1)
+			down := x.Row(i + 1)
+			br := b.Row(i)
+			cr := c.Row(i)
+			cu := c.Row(i - 1)
+			cd := c.Row(i + 1)
+			s := sums[i]
+			for j := 1 + (i+1)%2; j < n-1; j += 2 {
+				cc := cr[j]
+				cn := 0.5 * (cc + cu[j])
+				cs := 0.5 * (cc + cd[j])
+				cw := 0.5 * (cc + cr[j-1])
+				ce := 0.5 * (cc + cr[j+1])
+				rv := br[j] - ((cn+cs+cw+ce)*xr[j]-cn*up[j]-cs*down[j]-cw*xr[j-1]-ce*xr[j+1])*inv
+				s += rv * rv
+			}
+			sums[i] = s
+		}
+	})
+	return sumRows(sums, n)
+}
+
+// residualNormParVar is the parallel deterministic residual norm for a
+// variable-coefficient stencil.
+func residualNormParVar(pool *sched.Pool, x, b *grid.Grid, h float64, c *grid.Grid) float64 {
+	n := x.N()
+	inv := 1 / (h * h)
+	sums := make([]float64, n)
+	parallelRows(pool, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			xr := x.Row(i)
+			up := x.Row(i - 1)
+			down := x.Row(i + 1)
+			br := b.Row(i)
+			cr := c.Row(i)
+			cu := c.Row(i - 1)
+			cd := c.Row(i + 1)
+			var s float64
+			for j := 1; j < n-1; j++ {
+				cc := cr[j]
+				cn := 0.5 * (cc + cu[j])
+				cs := 0.5 * (cc + cd[j])
+				cw := 0.5 * (cc + cr[j-1])
+				ce := 0.5 * (cc + cr[j+1])
+				r := br[j] - ((cn+cs+cw+ce)*xr[j]-cn*up[j]-cs*down[j]-cw*xr[j-1]-ce*xr[j+1])*inv
+				s += r * r
+			}
+			sums[i] = s
+		}
+	})
+	return sumRows(sums, n)
+}
+
+// residualRowVar is the residual row provider for a variable-coefficient
+// stencil.
+func residualRowVar(x, b *grid.Grid, inv float64, c *grid.Grid) func(fi int, dst []float64) {
+	n := x.N()
+	return func(fi int, dst []float64) {
+		xr := x.Row(fi)
+		up := x.Row(fi - 1)
+		down := x.Row(fi + 1)
+		br := b.Row(fi)
+		cr := c.Row(fi)
+		cu := c.Row(fi - 1)
+		cd := c.Row(fi + 1)
+		dst[0], dst[n-1] = 0, 0
+		for j := 1; j < n-1; j++ {
+			cc := cr[j]
+			cn := 0.5 * (cc + cu[j])
+			cs := 0.5 * (cc + cd[j])
+			cw := 0.5 * (cc + cr[j-1])
+			ce := 0.5 * (cc + cr[j+1])
+			dst[j] = br[j] - ((cn+cs+cw+ce)*xr[j]-cn*up[j]-cs*down[j]-cw*xr[j-1]-ce*xr[j+1])*inv
+		}
+	}
+}

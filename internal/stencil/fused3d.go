@@ -1,0 +1,267 @@
+// Fused single-pass cycle kernels for the 3D 7-point stencil — the
+// plane-parallel counterparts of fused.go. Black points of the red-black
+// sweep get their post-sweep residual from the update delta
+// (r = 6·(1−ω)·(gs − x_old)/h², exact), red points from a direct fixup
+// half-pass (smoothResidual3) or from the delta-gather over r alone
+// (smoothResidualRestrict3); norm reductions accumulate per interior plane
+// and add planes in index order, so the result is bit-identical for any
+// worker count and chunking.
+package stencil
+
+import (
+	"pbmg/internal/grid"
+	"pbmg/internal/sched"
+	"pbmg/internal/transfer"
+)
+
+// redHalfSweep3 is sorSweepRB3's color-0 half-sweep.
+func redHalfSweep3(pool *sched.Pool, x, b *grid.Grid, h2, omega float64) {
+	n := x.N()
+	parallelPlanes(pool, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for j := 1; j < n-1; j++ {
+				xr := x.Row3(i, j)
+				up := x.Row3(i-1, j)
+				down := x.Row3(i+1, j)
+				north := x.Row3(i, j-1)
+				south := x.Row3(i, j+1)
+				br := b.Row3(i, j)
+				for k := 1 + (i+j+1)%2; k < n-1; k += 2 {
+					gs := (up[k] + down[k] + north[k] + south[k] + xr[k-1] + xr[k+1] + h2*br[k]) * (1.0 / 6.0)
+					xr[k] += omega * (gs - xr[k])
+				}
+			}
+		}
+	})
+}
+
+// redHalfSweepEmit3 is the color-0 half-sweep, emitting each red point's
+// mid-sweep residual into r from the update delta (see the 2D
+// redHalfSweepEmit for the derivation).
+func redHalfSweepEmit3(pool *sched.Pool, x, b, r *grid.Grid, h2, omega, rFac float64) {
+	n := x.N()
+	parallelPlanes(pool, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for j := 1; j < n-1; j++ {
+				xr := x.Row3(i, j)
+				up := x.Row3(i-1, j)
+				down := x.Row3(i+1, j)
+				north := x.Row3(i, j-1)
+				south := x.Row3(i, j+1)
+				br := b.Row3(i, j)
+				rr := r.Row3(i, j)
+				for k := 1 + (i+j+1)%2; k < n-1; k += 2 {
+					gs := (up[k] + down[k] + north[k] + south[k] + xr[k-1] + xr[k+1] + h2*br[k]) * (1.0 / 6.0)
+					d := gs - xr[k]
+					xr[k] += omega * d
+					rr[k] = rFac * d
+				}
+			}
+		}
+	})
+}
+
+// blackHalfSweepEmit3 is the color-1 half-sweep, emitting each black
+// point's post-sweep residual into r from the update delta.
+func blackHalfSweepEmit3(pool *sched.Pool, x, b, r *grid.Grid, h2, omega, rFac float64) {
+	n := x.N()
+	parallelPlanes(pool, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for j := 1; j < n-1; j++ {
+				xr := x.Row3(i, j)
+				up := x.Row3(i-1, j)
+				down := x.Row3(i+1, j)
+				north := x.Row3(i, j-1)
+				south := x.Row3(i, j+1)
+				br := b.Row3(i, j)
+				rr := r.Row3(i, j)
+				for k := 1 + (i+j)%2; k < n-1; k += 2 {
+					gs := (up[k] + down[k] + north[k] + south[k] + xr[k-1] + xr[k+1] + h2*br[k]) * (1.0 / 6.0)
+					d := gs - xr[k]
+					xr[k] += omega * d
+					rr[k] = rFac * d
+				}
+			}
+		}
+	})
+}
+
+// redFixup3 evaluates the post-sweep residual at red points directly from
+// the final iterate, matching residual3's expression bit for bit.
+func redFixup3(pool *sched.Pool, x, b, r *grid.Grid, inv float64) {
+	n := x.N()
+	parallelPlanes(pool, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for j := 1; j < n-1; j++ {
+				xr := x.Row3(i, j)
+				up := x.Row3(i-1, j)
+				down := x.Row3(i+1, j)
+				north := x.Row3(i, j-1)
+				south := x.Row3(i, j+1)
+				br := b.Row3(i, j)
+				rr := r.Row3(i, j)
+				for k := 1 + (i+j+1)%2; k < n-1; k += 2 {
+					rr[k] = br[k] - (6*xr[k]-up[k]-down[k]-north[k]-south[k]-xr[k-1]-xr[k+1])*inv
+				}
+			}
+		}
+	})
+}
+
+// smoothResidual3 performs one full red-black SOR sweep in place on x and
+// leaves r = b − T·x (post-sweep) with a zeroed boundary. x is bit-identical
+// to sorSweepRB3; r matches residual3 bit-identically at red (i+j+k even)
+// points and to rounding error at black points.
+func smoothResidual3(pool *sched.Pool, x, b, r *grid.Grid, h, omega float64) {
+	h2 := h * h
+	inv := 1 / h2
+	r.ZeroBoundary()
+	redHalfSweep3(pool, x, b, h2, omega)
+	blackHalfSweepEmit3(pool, x, b, r, h2, omega, 6*(1-omega)*inv)
+	redFixup3(pool, x, b, r, inv)
+}
+
+// gatherFixup3 completes a residual grid emitted by the two half-sweeps in
+// place, reading only r: r_red += κ·Σ over the six black neighbours'
+// stored residuals, κ = ω/(6·(1−ω)) (see the 2D gatherFixup).
+func gatherFixup3(pool *sched.Pool, r *grid.Grid, kappa float64) {
+	n := r.N()
+	parallelPlanes(pool, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for j := 1; j < n-1; j++ {
+				rr := r.Row3(i, j)
+				up := r.Row3(i-1, j)
+				down := r.Row3(i+1, j)
+				north := r.Row3(i, j-1)
+				south := r.Row3(i, j+1)
+				for k := 1 + (i+j+1)%2; k < n-1; k += 2 {
+					rr[k] += kappa * (up[k] + down[k] + north[k] + south[k] + rr[k-1] + rr[k+1])
+				}
+			}
+		}
+	})
+}
+
+// smoothResidualRestrict3 is the composed V-cycle downstroke for the 3D
+// Laplacian: sweep, residual, 27-point restriction. Away from ω = 1 both
+// half-sweeps emit their deltas into r and gatherFixup3 completes it
+// reading r alone; near ω = 1 red residuals are evaluated directly from
+// (x, b). Either way r ends up holding the full post-sweep residual, and
+// the separable restriction (transfer.RestrictSep3) consumes it.
+func smoothResidualRestrict3(pool *sched.Pool, coarse, x, b, r *grid.Grid, h, omega float64) {
+	h2 := h * h
+	inv := 1 / h2
+	rFac := 6 * (1 - omega) * inv
+	if om := 1 - omega; om >= gatherMinOneMinusOmega || om <= -gatherMinOneMinusOmega {
+		r.ZeroBoundary()
+		redHalfSweepEmit3(pool, x, b, r, h2, omega, rFac)
+		blackHalfSweepEmit3(pool, x, b, r, h2, omega, rFac)
+		gatherFixup3(pool, r, omega/(6*(1-omega)))
+	} else {
+		smoothResidual3(pool, x, b, r, h, omega)
+	}
+	transfer.RestrictSep3(pool, coarse, r)
+}
+
+// sweepWithNorm3 performs one full red-black SOR sweep in place on x and
+// returns ‖b − T·x‖₂ over interior points after the sweep.
+func sweepWithNorm3(pool *sched.Pool, x, b *grid.Grid, h, omega float64) float64 {
+	n := x.N()
+	h2 := h * h
+	inv := 1 / h2
+	rFac := 6 * (1 - omega) * inv
+	sums := make([]float64, n)
+	redHalfSweep3(pool, x, b, h2, omega)
+	parallelPlanes(pool, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			var s float64
+			for j := 1; j < n-1; j++ {
+				xr := x.Row3(i, j)
+				up := x.Row3(i-1, j)
+				down := x.Row3(i+1, j)
+				north := x.Row3(i, j-1)
+				south := x.Row3(i, j+1)
+				br := b.Row3(i, j)
+				for k := 1 + (i+j)%2; k < n-1; k += 2 {
+					gs := (up[k] + down[k] + north[k] + south[k] + xr[k-1] + xr[k+1] + h2*br[k]) * (1.0 / 6.0)
+					d := gs - xr[k]
+					xr[k] += omega * d
+					rb := rFac * d
+					s += rb * rb
+				}
+			}
+			sums[i] = s
+		}
+	})
+	parallelPlanes(pool, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			s := sums[i]
+			for j := 1; j < n-1; j++ {
+				xr := x.Row3(i, j)
+				up := x.Row3(i-1, j)
+				down := x.Row3(i+1, j)
+				north := x.Row3(i, j-1)
+				south := x.Row3(i, j+1)
+				br := b.Row3(i, j)
+				for k := 1 + (i+j+1)%2; k < n-1; k += 2 {
+					rv := br[k] - (6*xr[k]-up[k]-down[k]-north[k]-south[k]-xr[k-1]-xr[k+1])*inv
+					s += rv * rv
+				}
+			}
+			sums[i] = s
+		}
+	})
+	return sumRows(sums, n)
+}
+
+// residualNormPar3 is the pool-parallel, deterministically chunked
+// counterpart of residualNorm3.
+func residualNormPar3(pool *sched.Pool, x, b *grid.Grid, h float64) float64 {
+	n := x.N()
+	inv := 1 / (h * h)
+	sums := make([]float64, n)
+	parallelPlanes(pool, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			var s float64
+			for j := 1; j < n-1; j++ {
+				xr := x.Row3(i, j)
+				up := x.Row3(i-1, j)
+				down := x.Row3(i+1, j)
+				north := x.Row3(i, j-1)
+				south := x.Row3(i, j+1)
+				br := b.Row3(i, j)
+				for k := 1; k < n-1; k++ {
+					r := br[k] - (6*xr[k]-up[k]-down[k]-north[k]-south[k]-xr[k-1]-xr[k+1])*inv
+					s += r * r
+				}
+			}
+			sums[i] = s
+		}
+	})
+	return sumRows(sums, n)
+}
+
+// residualPlane3 returns a provider computing interior fine residual planes
+// of the 3D Laplacian for transfer.RestrictResidual3, matching residual3's
+// per-point expression bit for bit.
+func residualPlane3(x, b *grid.Grid, inv float64) func(fi int, dst []float64) {
+	n := x.N()
+	return func(fi int, dst []float64) {
+		for k := 0; k < n; k++ {
+			dst[k], dst[(n-1)*n+k] = 0, 0
+		}
+		for j := 1; j < n-1; j++ {
+			row := dst[j*n : (j+1)*n]
+			xr := x.Row3(fi, j)
+			up := x.Row3(fi-1, j)
+			down := x.Row3(fi+1, j)
+			north := x.Row3(fi, j-1)
+			south := x.Row3(fi, j+1)
+			br := b.Row3(fi, j)
+			row[0], row[n-1] = 0, 0
+			for k := 1; k < n-1; k++ {
+				row[k] = br[k] - (6*xr[k]-up[k]-down[k]-north[k]-south[k]-xr[k-1]-xr[k+1])*inv
+			}
+		}
+	}
+}

@@ -1,0 +1,424 @@
+package stencil
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"pbmg/internal/grid"
+	"pbmg/internal/sched"
+	"pbmg/internal/transfer"
+)
+
+// Equivalence suite for the fused single-pass kernels, run for every
+// operator family × {2D, 3D} × {serial, 8-goroutine pool} against the
+// unfused oracle kernels. The contract under test:
+//
+//   - the iterate x after SmoothResidual / SweepWithNorm is bit-identical
+//     to SORSweepRB (the sweeps perform the same updates in the same order);
+//   - ResidualRestrict is bit-identical to Residual followed by Restrict
+//     (it consumes the same residual bits through a rolling window);
+//   - the residual grid from SmoothResidual is bit-identical to the oracle
+//     at red points (re-evaluated from final values with the oracle's
+//     expression) and within 1e-12 of the scale at black points (derived
+//     from the update delta, an algebraically exact rearrangement);
+//   - norms are deterministic: a nil pool and any worker count produce
+//     bit-identical sums (fixed per-row/per-plane chunking).
+
+type fusedCase struct {
+	name string
+	mk   func(n int) *Operator
+	ns   []int // one below and one above the parallel points gate
+	dim  int
+}
+
+func fusedCases() []fusedCase {
+	return []fusedCase{
+		{"poisson", func(int) *Operator { return Poisson() }, []int{65, 129}, 2},
+		{"aniso-0.01", func(int) *Operator { return Anisotropic(0.01) }, []int{65, 129}, 2},
+		{"aniso-5", func(int) *Operator { return Anisotropic(5) }, []int{65, 129}, 2},
+		{"varcoef-2", func(n int) *Operator { return VarCoefOperator(CoefField(n, 2), 2) }, []int{65, 129}, 2},
+		{"poisson3d", func(int) *Operator { return Poisson3D() }, []int{17, 33}, 3},
+	}
+}
+
+func randomStateDim(dim, n int, rng *rand.Rand) (x, b *grid.Grid) {
+	if dim == 3 {
+		return randomState3(n, rng)
+	}
+	return randomState(n, rng)
+}
+
+// forEachInterior visits every interior point of g (2D or 3D) with its
+// red/black parity and value.
+func forEachInterior(g *grid.Grid, visit func(idx int, red bool, v float64)) {
+	n := g.N()
+	if g.Dim() == 3 {
+		for i := 1; i < n-1; i++ {
+			for j := 1; j < n-1; j++ {
+				row := g.Row3(i, j)
+				for k := 1; k < n-1; k++ {
+					visit((i*n+j)*n+k, (i+j+k)%2 == 0, row[k])
+				}
+			}
+		}
+		return
+	}
+	for i := 1; i < n-1; i++ {
+		row := g.Row(i)
+		for j := 1; j < n-1; j++ {
+			visit(i*n+j, (i+j)%2 == 0, row[j])
+		}
+	}
+}
+
+// pools under test: the serial path and the issue's 8-goroutine pool.
+func withPools(t *testing.T, fn func(t *testing.T, pool *sched.Pool)) {
+	t.Run("serial", func(t *testing.T) { fn(t, nil) })
+	t.Run("pool-8", func(t *testing.T) {
+		pool := sched.NewPool(8)
+		defer pool.Close()
+		fn(t, pool)
+	})
+}
+
+func TestSmoothResidualMatchesOracle(t *testing.T) {
+	for _, tc := range fusedCases() {
+		for _, n := range tc.ns {
+			t.Run(fmt.Sprintf("%s/n%d", tc.name, n), func(t *testing.T) {
+				op := tc.mk(n)
+				h := 1.0 / float64(n-1)
+				omega := op.OmegaSmooth()
+				rng := rand.New(rand.NewSource(int64(n)))
+				x0, b := randomStateDim(tc.dim, n, rng)
+
+				// Oracle: unfused sweep, then unfused residual (serial).
+				xo := x0.Clone()
+				op.SORSweepRB(nil, xo, b, h, omega)
+				ro := grid.NewDim(tc.dim, n)
+				op.Residual(nil, ro, xo, b, h)
+				scale := math.Max(1, grid.MaxAbsInterior(ro))
+
+				withPools(t, func(t *testing.T, pool *sched.Pool) {
+					xf := x0.Clone()
+					rf := grid.NewDim(tc.dim, n)
+					// Poison rf's interior to catch unwritten points.
+					rf.Fill(math.NaN())
+					op.SmoothResidual(pool, xf, b, rf, h, omega)
+					assertBitIdentical(t, xo, xf, "SmoothResidual iterate")
+					rod, rfd := ro.Data(), rf.Data()
+					forEachInterior(ro, func(idx int, red bool, _ float64) {
+						if red {
+							if math.Float64bits(rod[idx]) != math.Float64bits(rfd[idx]) {
+								t.Fatalf("red residual differs at %d: %v vs %v", idx, rod[idx], rfd[idx])
+							}
+							return
+						}
+						if d := math.Abs(rod[idx] - rfd[idx]); !(d <= 1e-12*scale) {
+							t.Fatalf("black residual differs at %d by %g (scale %g): %v vs %v",
+								idx, d, scale, rod[idx], rfd[idx])
+						}
+					})
+					// Boundary must be zeroed like the oracle's.
+					rf2 := rf.Clone()
+					rf2.ZeroBoundary()
+					assertBitIdentical(t, rf, rf2, "SmoothResidual boundary")
+				})
+			})
+		}
+	}
+}
+
+// assertCoarseClose checks a fused restriction against the oracle chain:
+// same 9/27-point weights under a different (separable) summation order, so
+// agreement is to floating-point association, scaled by the residual data.
+func assertCoarseClose(t *testing.T, oracle, fused *grid.Grid, scale float64, what string) {
+	t.Helper()
+	od, fd := oracle.Data(), fused.Data()
+	for k := range od {
+		if d := math.Abs(od[k] - fd[k]); !(d <= 1e-12*scale) {
+			t.Fatalf("%s: coarse value differs at %d by %g (scale %g): %v vs %v",
+				what, k, d, scale, od[k], fd[k])
+		}
+	}
+}
+
+func TestResidualRestrictMatchesOracle(t *testing.T) {
+	for _, tc := range fusedCases() {
+		for _, n := range tc.ns {
+			t.Run(fmt.Sprintf("%s/n%d", tc.name, n), func(t *testing.T) {
+				op := tc.mk(n)
+				h := 1.0 / float64(n-1)
+				rng := rand.New(rand.NewSource(int64(n) + 7))
+				x, b := randomStateDim(tc.dim, n, rng)
+				nc := grid.Coarsen(n)
+
+				r := grid.NewDim(tc.dim, n)
+				op.Residual(nil, r, x, b, h)
+				scale := math.Max(1, grid.MaxAbsInterior(r))
+				co := grid.NewDim(tc.dim, nc)
+				transfer.Restrict(nil, co, r)
+
+				var serial *grid.Grid
+				withPools(t, func(t *testing.T, pool *sched.Pool) {
+					cf := grid.NewDim(tc.dim, nc)
+					cf.Fill(math.NaN())
+					op.ResidualRestrict(pool, cf, x, b, h)
+					assertCoarseClose(t, co, cf, scale, "ResidualRestrict")
+					// Chunking is fixed, so serial and pooled runs agree
+					// bit for bit.
+					if pool == nil {
+						serial = cf
+					} else {
+						assertBitIdentical(t, serial, cf, "ResidualRestrict serial-vs-pool")
+					}
+				})
+			})
+		}
+	}
+}
+
+func TestSmoothResidualRestrictMatchesOracle(t *testing.T) {
+	for _, tc := range fusedCases() {
+		for _, n := range tc.ns {
+			t.Run(fmt.Sprintf("%s/n%d", tc.name, n), func(t *testing.T) {
+				op := tc.mk(n)
+				h := 1.0 / float64(n-1)
+				omega := op.OmegaSmooth()
+				rng := rand.New(rand.NewSource(int64(n) + 43))
+				x0, b := randomStateDim(tc.dim, n, rng)
+				nc := grid.Coarsen(n)
+
+				// Oracle downstroke: sweep, residual, restrict as separate
+				// serial passes.
+				xo := x0.Clone()
+				op.SORSweepRB(nil, xo, b, h, omega)
+				ro := grid.NewDim(tc.dim, n)
+				op.Residual(nil, ro, xo, b, h)
+				scale := math.Max(1, grid.MaxAbsInterior(ro))
+				co := grid.NewDim(tc.dim, nc)
+				transfer.Restrict(nil, co, ro)
+
+				var serial *grid.Grid
+				withPools(t, func(t *testing.T, pool *sched.Pool) {
+					xf := x0.Clone()
+					rf := grid.NewDim(tc.dim, n)
+					cf := grid.NewDim(tc.dim, nc)
+					cf.Fill(math.NaN())
+					op.SmoothResidualRestrict(pool, cf, xf, b, rf, h, omega)
+					assertBitIdentical(t, xo, xf, "SmoothResidualRestrict iterate")
+					assertCoarseClose(t, co, cf, scale, "SmoothResidualRestrict")
+					if pool == nil {
+						serial = cf
+					} else {
+						assertBitIdentical(t, serial, cf, "SmoothResidualRestrict serial-vs-pool")
+					}
+				})
+			})
+		}
+	}
+}
+
+func TestSweepWithNormMatchesOracle(t *testing.T) {
+	for _, tc := range fusedCases() {
+		for _, n := range tc.ns {
+			t.Run(fmt.Sprintf("%s/n%d", tc.name, n), func(t *testing.T) {
+				op := tc.mk(n)
+				h := 1.0 / float64(n-1)
+				omega := op.OmegaSmooth()
+				rng := rand.New(rand.NewSource(int64(n) + 13))
+				x0, b := randomStateDim(tc.dim, n, rng)
+
+				xo := x0.Clone()
+				op.SORSweepRB(nil, xo, b, h, omega)
+				ro := grid.NewDim(tc.dim, n)
+				op.Residual(nil, ro, xo, b, h)
+				want := grid.L2Interior(ro)
+
+				var serialNorm float64
+				withPools(t, func(t *testing.T, pool *sched.Pool) {
+					xf := x0.Clone()
+					norm := op.SweepWithNorm(pool, xf, b, h, omega)
+					assertBitIdentical(t, xo, xf, "SweepWithNorm iterate")
+					if d := math.Abs(norm - want); !(d <= 1e-12*math.Max(1, want)) {
+						t.Fatalf("norm %v, oracle %v (diff %g)", norm, want, d)
+					}
+					// Fixed chunking: serial and pool sums are bit-identical.
+					if pool == nil {
+						serialNorm = norm
+					} else if math.Float64bits(norm) != math.Float64bits(serialNorm) {
+						t.Fatalf("pool norm %x differs from serial norm %x",
+							math.Float64bits(norm), math.Float64bits(serialNorm))
+					}
+				})
+			})
+		}
+	}
+}
+
+func TestResidualNormParallelDeterministic(t *testing.T) {
+	for _, tc := range fusedCases() {
+		for _, n := range tc.ns {
+			t.Run(fmt.Sprintf("%s/n%d", tc.name, n), func(t *testing.T) {
+				op := tc.mk(n)
+				h := 1.0 / float64(n-1)
+				rng := rand.New(rand.NewSource(int64(n) + 29))
+				x, b := randomStateDim(tc.dim, n, rng)
+
+				serial := op.ResidualNorm(nil, x, b, h)
+				pool := sched.NewPool(8)
+				defer pool.Close()
+				par := op.ResidualNorm(pool, x, b, h)
+				if math.Float64bits(serial) != math.Float64bits(par) {
+					t.Fatalf("parallel norm %x != serial norm %x",
+						math.Float64bits(par), math.Float64bits(serial))
+				}
+				// And both agree with the residual grid they summarize.
+				r := grid.NewDim(tc.dim, n)
+				op.Residual(nil, r, x, b, h)
+				want := grid.L2Interior(r)
+				if d := math.Abs(serial - want); !(d <= 1e-12*math.Max(1, want)) {
+					t.Fatalf("norm %v, ‖residual grid‖ %v (diff %g)", serial, want, d)
+				}
+				// ... and with the legacy single-accumulator oracle, where
+				// one exists for the family.
+				oracle := math.NaN()
+				switch op.Family() {
+				case FamilyPoisson:
+					oracle = ResidualNorm(x, b, h)
+				case FamilyAnisotropic:
+					oracle = residualNormConst(x, b, h, op.Eps(), 1)
+				case FamilyPoisson3D:
+					oracle = residualNorm3(x, b, h)
+				}
+				if !math.IsNaN(oracle) {
+					if d := math.Abs(serial - oracle); !(d <= 1e-12*math.Max(1, oracle)) {
+						t.Fatalf("norm %v, legacy oracle %v (diff %g)", serial, oracle, d)
+					}
+				}
+			})
+		}
+	}
+}
+
+// FuzzFusedMatchesUnfused drives the fused 2D kernels against the oracle on
+// random states, families, parameters, and relaxation weights.
+func FuzzFusedMatchesUnfused(f *testing.F) {
+	f.Add(int64(1), uint8(0), 1.0, 1.15)
+	f.Add(int64(2), uint8(1), 0.01, 1.0)
+	f.Add(int64(3), uint8(2), 2.0, 1.6)
+	pool := sharedPool()
+	const n = 129
+	f.Fuzz(func(t *testing.T, seed int64, famSel uint8, epsRaw, omegaRaw float64) {
+		op := fuzzOperator(n, famSel, epsRaw, seed)
+		omega := omegaRaw
+		if math.IsNaN(omega) || math.IsInf(omega, 0) {
+			omega = 1.15
+		}
+		omega = 0.05 + math.Mod(math.Abs(omega), 1.9) // (0, 2): SOR-stable
+		rng := rand.New(rand.NewSource(seed))
+		x0, b := randomState(n, rng)
+		h := 1.0 / float64(n-1)
+
+		xo := x0.Clone()
+		op.SORSweepRB(nil, xo, b, h, omega)
+		ro := grid.New(n)
+		op.Residual(nil, ro, xo, b, h)
+		scale := math.Max(1, grid.MaxAbsInterior(ro))
+
+		xf := x0.Clone()
+		rf := grid.New(n)
+		op.SmoothResidual(pool, xf, b, rf, h, omega)
+		assertBitIdentical(t, xo, xf, "SmoothResidual iterate")
+		rod, rfd := ro.Data(), rf.Data()
+		forEachInterior(ro, func(idx int, red bool, _ float64) {
+			if red && math.Float64bits(rod[idx]) != math.Float64bits(rfd[idx]) {
+				t.Fatalf("%v: red residual differs at %d", op, idx)
+			}
+			if d := math.Abs(rod[idx] - rfd[idx]); !(d <= 1e-12*scale) {
+				t.Fatalf("%v: residual differs at %d by %g (scale %g)", op, idx, d, scale)
+			}
+		})
+
+		nc := grid.Coarsen(n)
+		co, cf := grid.New(nc), grid.New(nc)
+		transfer.Restrict(nil, co, ro)
+		op.ResidualRestrict(pool, cf, xo, b, h)
+		assertCoarseClose(t, co, cf, scale, "ResidualRestrict")
+
+		xc := x0.Clone()
+		rc, cc := grid.New(n), grid.New(nc)
+		op.SmoothResidualRestrict(pool, cc, xc, b, rc, h, omega)
+		assertBitIdentical(t, xo, xc, "SmoothResidualRestrict iterate")
+		assertCoarseClose(t, co, cc, scale, "SmoothResidualRestrict")
+
+		xn := x0.Clone()
+		norm := op.SweepWithNorm(pool, xn, b, h, omega)
+		assertBitIdentical(t, xo, xn, "SweepWithNorm iterate")
+		want := grid.L2Interior(ro)
+		if d := math.Abs(norm - want); !(d <= 1e-12*math.Max(1, want)) {
+			t.Fatalf("%v: SweepWithNorm %v, oracle %v", op, norm, want)
+		}
+	})
+}
+
+// Fuzz3DFusedMatchesUnfused is the 3D counterpart at the acceptance size.
+func Fuzz3DFusedMatchesUnfused(f *testing.F) {
+	f.Add(int64(1), 1.15)
+	f.Add(int64(2), 1.0)
+	f.Add(int64(3), 1.6)
+	pool := sharedPool()
+	const n = 33
+	f.Fuzz(func(t *testing.T, seed int64, omegaRaw float64) {
+		op := Poisson3D()
+		omega := omegaRaw
+		if math.IsNaN(omega) || math.IsInf(omega, 0) {
+			omega = 1.15
+		}
+		omega = 0.05 + math.Mod(math.Abs(omega), 1.9)
+		rng := rand.New(rand.NewSource(seed))
+		x0, b := randomState3(n, rng)
+		h := 1.0 / float64(n-1)
+
+		xo := x0.Clone()
+		op.SORSweepRB(nil, xo, b, h, omega)
+		ro := grid.New3(n)
+		op.Residual(nil, ro, xo, b, h)
+		scale := math.Max(1, grid.MaxAbsInterior(ro))
+
+		xf := x0.Clone()
+		rf := grid.New3(n)
+		op.SmoothResidual(pool, xf, b, rf, h, omega)
+		assertBitIdentical(t, xo, xf, "SmoothResidual iterate")
+		rod, rfd := ro.Data(), rf.Data()
+		forEachInterior(ro, func(idx int, red bool, _ float64) {
+			if red && math.Float64bits(rod[idx]) != math.Float64bits(rfd[idx]) {
+				t.Fatalf("red residual differs at %d", idx)
+			}
+			if d := math.Abs(rod[idx] - rfd[idx]); !(d <= 1e-12*scale) {
+				t.Fatalf("residual differs at %d by %g (scale %g)", idx, d, scale)
+			}
+		})
+
+		nc := grid.Coarsen(n)
+		co, cf := grid.New3(nc), grid.New3(nc)
+		transfer.Restrict(nil, co, ro)
+		op.ResidualRestrict(pool, cf, xo, b, h)
+		assertCoarseClose(t, co, cf, scale, "ResidualRestrict")
+
+		xc := x0.Clone()
+		rc, cc := grid.New3(n), grid.New3(nc)
+		op.SmoothResidualRestrict(pool, cc, xc, b, rc, h, omega)
+		assertBitIdentical(t, xo, xc, "SmoothResidualRestrict iterate")
+		assertCoarseClose(t, co, cc, scale, "SmoothResidualRestrict")
+
+		xn := x0.Clone()
+		norm := op.SweepWithNorm(pool, xn, b, h, omega)
+		assertBitIdentical(t, xo, xn, "SweepWithNorm iterate")
+		want := grid.L2Interior(ro)
+		if d := math.Abs(norm - want); !(d <= 1e-12*math.Max(1, want)) {
+			t.Fatalf("SweepWithNorm %v, oracle %v", norm, want)
+		}
+	})
+}

@@ -109,7 +109,7 @@ func Fuzz3DApplyResidualConsistency(f *testing.F) {
 		for i := range rd {
 			sum += rd[i] * rd[i]
 		}
-		if norm := op.ResidualNorm(x, b, h); math.Abs(norm-math.Sqrt(sum)) > 1e-9*math.Max(1, norm) {
+		if norm := op.ResidualNorm(nil, x, b, h); math.Abs(norm-math.Sqrt(sum)) > 1e-9*math.Max(1, norm) {
 			t.Fatalf("ResidualNorm %v != ‖residual grid‖ %v", norm, math.Sqrt(sum))
 		}
 	})

@@ -131,7 +131,7 @@ func FuzzApplyResidualConsistency(f *testing.F) {
 				sum += r.At(i, j) * r.At(i, j)
 			}
 		}
-		if norm := op.ResidualNorm(x, b, h); math.Abs(norm-math.Sqrt(sum)) > 1e-9*math.Max(1, norm) {
+		if norm := op.ResidualNorm(nil, x, b, h); math.Abs(norm-math.Sqrt(sum)) > 1e-9*math.Max(1, norm) {
 			t.Fatalf("%v: ResidualNorm %v != ‖residual grid‖ %v", op, norm, math.Sqrt(sum))
 		}
 	})

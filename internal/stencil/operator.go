@@ -512,40 +512,106 @@ func applyConst(pool *sched.Pool, y, x *grid.Grid, h, cx, cy float64) {
 	})
 }
 
-// ResidualNorm returns ‖b − T·x‖₂ over interior points without allocating.
-func (op *Operator) ResidualNorm(x, b *grid.Grid, h float64) float64 {
+// ResidualNorm returns ‖b − T·x‖₂ over interior points. The reduction
+// accumulates fixed per-row (2D) or per-plane (3D) partial sums and adds
+// them in index order, so the result is run-to-run deterministic and
+// identical for a nil pool and any worker count.
+func (op *Operator) ResidualNorm(pool *sched.Pool, x, b *grid.Grid, h float64) float64 {
 	switch op.family {
 	case FamilyPoisson:
-		return ResidualNorm(x, b, h)
+		return residualNormPar(pool, x, b, h)
 	case FamilyPoisson3D:
-		return residualNorm3(x, b, h)
+		return residualNormPar3(pool, x, b, h)
 	case FamilyAnisotropic:
-		return residualNormConst(x, b, h, op.eps, 1)
+		return residualNormParConst(pool, x, b, h, op.eps, 1)
+	default:
+		op.checkSize(x.N())
+		return residualNormParVar(pool, x, b, h, op.coef)
 	}
-	op.checkSize(x.N())
-	c := op.coef
-	n := x.N()
+}
+
+// SmoothResidual performs one full red-black SOR sweep in place on x and
+// leaves r = b − T·x (post-sweep, zeroed boundary) in the same traversal:
+// the black half-sweep derives its residual from the update delta, and a
+// red fixup half-pass — half the footprint of the standalone Residual
+// kernel — completes the grid. x is bit-identical to SORSweepRB; r matches
+// the unfused Residual bit-identically at red points and to rounding error
+// at black points. r must not alias x or b.
+func (op *Operator) SmoothResidual(pool *sched.Pool, x, b, r *grid.Grid, h, omega float64) {
+	switch op.family {
+	case FamilyPoisson:
+		SmoothResidual(pool, x, b, r, h, omega)
+	case FamilyPoisson3D:
+		smoothResidual3(pool, x, b, r, h, omega)
+	case FamilyAnisotropic:
+		smoothResidualConst(pool, x, b, r, h, omega, op.eps, 1)
+	default:
+		op.checkSize(x.N())
+		smoothResidualVar(pool, x, b, r, h, omega, op.coef)
+	}
+}
+
+// SweepWithNorm performs one full red-black SOR sweep in place on x and
+// returns ‖b − T·x‖₂ over interior points after the sweep, folding the
+// convergence check's residual traversal into the smoothing pass. The
+// reduction uses the same deterministic fixed-chunk scheme as ResidualNorm.
+func (op *Operator) SweepWithNorm(pool *sched.Pool, x, b *grid.Grid, h, omega float64) float64 {
+	switch op.family {
+	case FamilyPoisson:
+		return SweepWithNorm(pool, x, b, h, omega)
+	case FamilyPoisson3D:
+		return sweepWithNorm3(pool, x, b, h, omega)
+	case FamilyAnisotropic:
+		return sweepWithNormConst(pool, x, b, h, omega, op.eps, 1)
+	default:
+		op.checkSize(x.N())
+		return sweepWithNormVar(pool, x, b, h, omega, op.coef)
+	}
+}
+
+// SmoothResidualRestrict is the composed V-cycle downstroke: one red-black
+// SOR sweep on x, then the full-weighting restriction of the post-sweep
+// residual into coarse — without a separate residual pass. The black
+// half-sweep emits its residuals from the update delta into the scratch
+// grid r, and the fused restriction evaluates only the red half on the fly
+// as it consumes rows. After the call r holds black residuals only (red
+// points and boundary are unspecified scratch). x is bit-identical to
+// SORSweepRB; coarse matches the unfused sweep + Residual + Restrict chain
+// to floating-point association (≤1e-12 of the data scale). r must not
+// alias x, b, or coarse.
+func (op *Operator) SmoothResidualRestrict(pool *sched.Pool, coarse, x, b, r *grid.Grid, h, omega float64) {
+	switch op.family {
+	case FamilyPoisson:
+		smoothResidualRestrict(pool, coarse, x, b, r, h, omega)
+	case FamilyPoisson3D:
+		smoothResidualRestrict3(pool, coarse, x, b, r, h, omega)
+	case FamilyAnisotropic:
+		smoothResidualRestrictConst(pool, coarse, x, b, r, h, omega, op.eps, 1)
+	default:
+		op.checkSize(x.N())
+		smoothResidualRestrictVar(pool, coarse, x, b, r, h, omega, op.coef)
+	}
+}
+
+// ResidualRestrict computes the full-weighting restriction of b − T·x into
+// coarse directly from (x, b), never materializing the fine residual grid —
+// the fused downstroke pass for cycles whose residual is not preceded by a
+// smoothing sweep (full-multigrid estimation). The result matches Residual
+// followed by transfer.Restrict to floating-point association (the
+// restriction weights are applied separably).
+func (op *Operator) ResidualRestrict(pool *sched.Pool, coarse, x, b *grid.Grid, h float64) {
 	inv := 1 / (h * h)
-	var sum float64
-	for i := 1; i < n-1; i++ {
-		xr := x.Row(i)
-		up := x.Row(i - 1)
-		down := x.Row(i + 1)
-		br := b.Row(i)
-		cr := c.Row(i)
-		cu := c.Row(i - 1)
-		cd := c.Row(i + 1)
-		for j := 1; j < n-1; j++ {
-			cc := cr[j]
-			cn := 0.5 * (cc + cu[j])
-			cs := 0.5 * (cc + cd[j])
-			cw := 0.5 * (cc + cr[j-1])
-			ce := 0.5 * (cc + cr[j+1])
-			r := br[j] - ((cn+cs+cw+ce)*xr[j]-cn*up[j]-cs*down[j]-cw*xr[j-1]-ce*xr[j+1])*inv
-			sum += r * r
-		}
+	switch op.family {
+	case FamilyPoisson:
+		transfer.RestrictResidual(pool, coarse, x.N(), residualRowPoisson(x, b, inv))
+	case FamilyPoisson3D:
+		transfer.RestrictResidual3(pool, coarse, x.N(), residualPlane3(x, b, inv))
+	case FamilyAnisotropic:
+		transfer.RestrictResidual(pool, coarse, x.N(), residualRowConst(x, b, inv, op.eps, 1))
+	default:
+		op.checkSize(x.N())
+		transfer.RestrictResidual(pool, coarse, x.N(), residualRowVar(x, b, inv, op.coef))
 	}
-	return math.Sqrt(sum)
 }
 
 // residualNormConst returns ‖b − T·x‖₂ for a constant-coefficient stencil.

@@ -92,7 +92,7 @@ func TestVarCoefUnitFieldMatchesPoisson(t *testing.T) {
 	op.Residual(nil, rv, x0, b, h)
 	assertClose(t, rp, rv, 1e-9, "Residual varcoef(1) vs poisson")
 
-	if d := math.Abs(Poisson().ResidualNorm(x0, b, h) - op.ResidualNorm(x0, b, h)); d > 1e-9 {
+	if d := math.Abs(Poisson().ResidualNorm(nil, x0, b, h) - op.ResidualNorm(nil, x0, b, h)); d > 1e-9 {
 		t.Fatalf("ResidualNorm differs by %g", d)
 	}
 }
@@ -192,11 +192,11 @@ func TestSORReducesResidualAllFamilies(t *testing.T) {
 	} {
 		x, b := randomState(n, rng)
 		h := 1.0 / float64(n-1)
-		before := op.ResidualNorm(x, b, h)
+		before := op.ResidualNorm(nil, x, b, h)
 		for s := 0; s < 50; s++ {
 			op.SORSweepRB(nil, x, b, h, op.OmegaSmooth())
 		}
-		after := op.ResidualNorm(x, b, h)
+		after := op.ResidualNorm(nil, x, b, h)
 		if after >= before*0.9 {
 			t.Fatalf("%v: residual %g -> %g after 50 sweeps", op, before, after)
 		}

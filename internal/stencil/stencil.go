@@ -33,14 +33,15 @@ func OmegaOpt(n int) float64 {
 const OmegaRecurse = 1.15
 
 // parallelRows runs body over interior rows [1, n-1), in parallel when pool
-// is non-nil and the grid is large enough to amortize task overhead.
+// is non-nil and the grid carries enough points to amortize task overhead
+// (the points-based gate shared with the 3D plane kernels — see
+// sched.MinParallelPoints).
 func parallelRows(pool *sched.Pool, n int, body func(lo, hi int)) {
-	const parallelThreshold = 128 // rows; below this, task overhead dominates
-	if pool == nil || pool.Workers() == 1 || n < parallelThreshold {
+	if pool == nil {
 		body(1, n-1)
 		return
 	}
-	pool.ParallelFor(1, n-1, 0, body)
+	pool.ParallelForPoints(1, n-1, n, body)
 }
 
 // SORSweepRB performs one full red-black SOR sweep (red half-sweep then

@@ -19,16 +19,17 @@ import (
 )
 
 // parallelPlanes runs body over interior planes [1, n-1), in parallel when
-// pool is non-nil and the cube is large enough to amortize task overhead.
-// The threshold is lower than the 2D row threshold because each plane
-// carries N² points of work.
+// pool is non-nil and the cube carries enough points to amortize task
+// overhead. The gate is the same points-based threshold the 2D row kernels
+// use (sched.MinParallelPoints): each plane carries N² points, so coarse
+// cubes drop to serial at the same work size as coarse squares instead of
+// at a hand-tuned per-dimension iteration count.
 func parallelPlanes(pool *sched.Pool, n int, body func(lo, hi int)) {
-	const threshold = 32 // planes; below this, task overhead dominates
-	if pool == nil || pool.Workers() == 1 || n < threshold {
+	if pool == nil {
 		body(1, n-1)
 		return
 	}
-	pool.ParallelFor(1, n-1, 0, body)
+	pool.ParallelForPoints(1, n-1, n*n, body)
 }
 
 // sorSweepRB3 performs one full red-black SOR sweep (red half-sweep then

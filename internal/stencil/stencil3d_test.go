@@ -74,7 +74,7 @@ func TestResidual3ConsistentWithApply3(t *testing.T) {
 	for i := range rd {
 		sum += rd[i] * rd[i]
 	}
-	if norm := op.ResidualNorm(x, b, h); math.Abs(norm-math.Sqrt(sum)) > 1e-9*math.Max(1, norm) {
+	if norm := op.ResidualNorm(nil, x, b, h); math.Abs(norm-math.Sqrt(sum)) > 1e-9*math.Max(1, norm) {
 		t.Fatalf("ResidualNorm %v != ‖r‖ %v", norm, math.Sqrt(sum))
 	}
 }
@@ -88,12 +88,12 @@ func TestSOR3Converges(t *testing.T) {
 	x, b := randomState3(n, rng)
 	x.ZeroInterior() // boundary data + zero interior guess
 	h := 1.0 / float64(n-1)
-	r0 := op.ResidualNorm(x, b, h)
+	r0 := op.ResidualNorm(nil, x, b, h)
 	omega := op.OmegaOpt(n)
 	for s := 0; s < 200; s++ {
 		op.SORSweepRB(nil, x, b, h, omega)
 	}
-	if r := op.ResidualNorm(x, b, h); r > 1e-8*r0 {
+	if r := op.ResidualNorm(nil, x, b, h); r > 1e-8*r0 {
 		t.Fatalf("SOR stalled: residual %v of initial %v", r, r0)
 	}
 }
@@ -107,13 +107,13 @@ func TestJacobi3ReducesResidual(t *testing.T) {
 	x, b := randomState3(n, rng)
 	x.ZeroInterior()
 	h := 1.0 / float64(n-1)
-	r0 := op.ResidualNorm(x, b, h)
+	r0 := op.ResidualNorm(nil, x, b, h)
 	tmp := grid.New3(n)
 	for s := 0; s < 50; s++ {
 		op.JacobiSweep(nil, tmp, x, b, h, 2.0/3.0)
 		x.CopyFrom(tmp)
 	}
-	if r := op.ResidualNorm(x, b, h); r > 0.5*r0 {
+	if r := op.ResidualNorm(nil, x, b, h); r > 0.5*r0 {
 		t.Fatalf("Jacobi did not reduce the residual: %v of %v", r, r0)
 	}
 }

@@ -19,10 +19,10 @@ import (
 	"pbmg/internal/sched"
 )
 
-const (
-	parallelThreshold   = 128 // coarse rows below this run serially (2D)
-	parallelThreshold3D = 32  // coarse planes below this run serially (3D)
-)
+// Parallelization gates on total points of work (sched.MinParallelPoints),
+// the same threshold the stencil kernels use in both dimensions, so a
+// transfer and the residual pass feeding it always make the same
+// serial-vs-parallel decision.
 
 func checkLevels(coarse, fine *grid.Grid, what string) {
 	nc, nf := coarse.N(), fine.N()
@@ -65,11 +65,11 @@ func Restrict(pool *sched.Pool, coarse, fine *grid.Grid) {
 			}
 		}
 	}
-	if pool == nil || pool.Workers() == 1 || nc < parallelThreshold {
+	if pool == nil {
 		body(1, nc-1)
 		return
 	}
-	pool.ParallelFor(1, nc-1, 0, body)
+	pool.ParallelForPoints(1, nc-1, 2*fine.N(), body)
 }
 
 // restrict3 is 3D full weighting: the tensor product of the 1D stencil
@@ -110,16 +110,186 @@ func restrict3(pool *sched.Pool, coarse, fine *grid.Grid) {
 			}
 		}
 	}
-	if pool == nil || pool.Workers() == 1 || nc < parallelThreshold3D {
+	if pool == nil {
 		body(1, nc-1)
 		return
 	}
-	pool.ParallelFor(1, nc-1, 0, body)
+	pool.ParallelForPoints(1, nc-1, 2*fine.N()*fine.N(), body)
 }
 
 // weight1D is the unnormalized 1D full-weighting stencil [1, 2, 1] indexed
 // by offset+1.
 var weight1D = [3]int{1, 2, 1}
+
+// RestrictResidual applies 2D full-weighting restriction of a fine-grid
+// residual into coarse without the residual grid ever existing: resRow
+// computes interior fine residual row fi (1 ≤ fi ≤ nf−2) into a
+// caller-provided buffer of length nf, and the driver consumes a rolling
+// window of such rows. This fuses the downstroke's residual and
+// restriction passes: the intermediate fine-grid write and re-read
+// disappear in favor of cache-resident row buffers.
+//
+// The driver applies the standard 9-point weights directly over a rolling
+// three-row window, in Restrict's evaluation order, so the output is
+// bit-identical to Restrict applied to a grid filled by resRow. (A
+// separable pre-weighting does not pay in 2D — per coarse point it reads
+// as many values as the direct form — but cuts the 3D 27-point stencil to
+// three reads; see RestrictResidual3.) Each parallel chunk owns disjoint
+// coarse rows and recomputes its one boundary-overlap row locally, so the
+// output is also bit-identical for any pool and chunking. resRow must be
+// safe for concurrent calls with distinct buffers.
+func RestrictResidual(pool *sched.Pool, coarse *grid.Grid, nf int, resRow func(fi int, dst []float64)) {
+	nc := coarse.N()
+	if nf != 2*nc-1 {
+		panic(fmt.Sprintf("transfer: RestrictResidual size mismatch fine=%d coarse=%d", nf, nc))
+	}
+	if coarse.Dim() != 2 {
+		panic(fmt.Sprintf("transfer: RestrictResidual needs a 2D coarse grid, got %dD", coarse.Dim()))
+	}
+	coarse.ZeroBoundary()
+	body := func(lo, hi int) {
+		up := make([]float64, nf)
+		mid := make([]float64, nf)
+		down := make([]float64, nf)
+		for ci := lo; ci < hi; ci++ {
+			fi := 2 * ci
+			if ci == lo {
+				resRow(fi-1, up)
+			} else {
+				// The previous iteration's bottom row fi−1 becomes this
+				// iteration's top row; its old top buffer is recycled.
+				up, down = down, up
+			}
+			resRow(fi, mid)
+			resRow(fi+1, down)
+			cr := coarse.Row(ci)
+			for cj := 1; cj < nc-1; cj++ {
+				fj := 2 * cj
+				cr[cj] = (4*mid[fj] +
+					2*(up[fj]+down[fj]+mid[fj-1]+mid[fj+1]) +
+					up[fj-1] + up[fj+1] + down[fj-1] + down[fj+1]) * (1.0 / 16.0)
+			}
+		}
+	}
+	if pool == nil {
+		body(1, nc-1)
+		return
+	}
+	// Each coarse row consumes ~two fresh fine residual rows of work.
+	pool.ParallelForPoints(1, nc-1, 2*nf, body)
+}
+
+// restrictSep3 is the shared separable 27-point restriction driver: the
+// full weighting [1, 2, 1]³/64 applied as a k-compression of fine rows,
+// then a j-compression, then an i-combination over a rolling three-plane
+// window of pre-weighted nc×nc buffers. mkCompress is called once per
+// parallel chunk and returns a function filling kc (nf rows × nc
+// k-compressed columns) for fine plane fi — from a grid, or from residual
+// values computed on the fly. Chunks own disjoint coarse planes and
+// recompute their one boundary-overlap plane locally, so the output is
+// bit-identical for any pool and chunking.
+func restrictSep3(pool *sched.Pool, coarse *grid.Grid, nf int, mkCompress func() func(fi int, kc []float64)) {
+	nc := coarse.N()
+	coarse.ZeroBoundary()
+	body := func(lo, hi int) {
+		compress := mkCompress()
+		kc := make([]float64, nf*nc) // k-compressed rows of the current plane
+		wu := make([]float64, nc*nc) // fully pre-weighted (k and j) planes
+		wm := make([]float64, nc*nc)
+		wd := make([]float64, nc*nc)
+		preweight := func(fi int, w []float64) {
+			compress(fi, kc)
+			for cj := 1; cj < nc-1; cj++ {
+				fj := 2 * cj
+				a := kc[(fj-1)*nc : fj*nc]
+				m := kc[fj*nc : (fj+1)*nc]
+				c := kc[(fj+1)*nc : (fj+2)*nc]
+				wrow := w[cj*nc : (cj+1)*nc]
+				for ck := 1; ck < nc-1; ck++ {
+					wrow[ck] = a[ck] + 2*m[ck] + c[ck]
+				}
+			}
+		}
+		for ci := lo; ci < hi; ci++ {
+			fi := 2 * ci
+			if ci == lo {
+				preweight(fi-1, wu)
+			} else {
+				wu, wd = wd, wu
+			}
+			preweight(fi, wm)
+			preweight(fi+1, wd)
+			for cj := 1; cj < nc-1; cj++ {
+				cr := coarse.Row3(ci, cj)
+				u := wu[cj*nc : (cj+1)*nc]
+				m := wm[cj*nc : (cj+1)*nc]
+				d := wd[cj*nc : (cj+1)*nc]
+				for ck := 1; ck < nc-1; ck++ {
+					cr[ck] = (u[ck] + 2*m[ck] + d[ck]) * (1.0 / 64.0)
+				}
+			}
+		}
+	}
+	if pool == nil {
+		body(1, nc-1)
+		return
+	}
+	pool.ParallelForPoints(1, nc-1, 2*nf*nf, body)
+}
+
+// kCompressRow folds one fine row into its nc k-compressed columns.
+func kCompressRow(row, krow []float64, nc int) {
+	for ck := 1; ck < nc-1; ck++ {
+		fk := 2 * ck
+		krow[ck] = row[fk-1] + 2*row[fk] + row[fk+1]
+	}
+}
+
+// RestrictResidual3 is the 3D counterpart of RestrictResidual: resPlane
+// computes interior fine residual plane fi into a caller-provided nf×nf
+// buffer, and the driver applies the 27-point full weighting separably
+// (restrictSep3). Same contract as the 2D driver, except agreement with
+// Restrict is to floating-point association (the separable order differs),
+// still bit-identical across pools and chunkings.
+func RestrictResidual3(pool *sched.Pool, coarse *grid.Grid, nf int, resPlane func(fi int, dst []float64)) {
+	nc := coarse.N()
+	if nf != 2*nc-1 {
+		panic(fmt.Sprintf("transfer: RestrictResidual3 size mismatch fine=%d coarse=%d", nf, nc))
+	}
+	if coarse.Dim() != 3 {
+		panic(fmt.Sprintf("transfer: RestrictResidual3 needs a 3D coarse grid, got %dD", coarse.Dim()))
+	}
+	restrictSep3(pool, coarse, nf, func() func(fi int, kc []float64) {
+		plane := make([]float64, nf*nf)
+		return func(fi int, kc []float64) {
+			resPlane(fi, plane)
+			for j := 1; j < nf-1; j++ {
+				kCompressRow(plane[j*nf:(j+1)*nf], kc[j*nc:(j+1)*nc], nc)
+			}
+		}
+	})
+}
+
+// RestrictSep3 applies the separable 27-point full weighting of a
+// materialized 3D fine grid into coarse — the fused downstroke's
+// restriction consumer, roughly 3× fewer reads per coarse point than the
+// direct 27-point Restrict. Boundary entries of fine are never read.
+// Agreement with Restrict is to floating-point association; output is
+// bit-identical across pools and chunkings.
+func RestrictSep3(pool *sched.Pool, coarse, fine *grid.Grid) {
+	checkLevels(coarse, fine, "RestrictSep3")
+	if fine.Dim() != 3 {
+		panic(fmt.Sprintf("transfer: RestrictSep3 needs 3D grids, got %dD", fine.Dim()))
+	}
+	nf, nc := fine.N(), coarse.N()
+	restrictSep3(pool, coarse, nf, func() func(fi int, kc []float64) {
+		return func(fi int, kc []float64) {
+			for j := 1; j < nf-1; j++ {
+				kCompressRow(fine.Row3(fi, j), kc[j*nc:(j+1)*nc], nc)
+			}
+		}
+	})
+}
 
 // Interpolate applies bilinear (2D) or trilinear (3D) interpolation of the
 // coarse grid into fine: coincident fine points copy the coarse value and
@@ -161,10 +331,10 @@ func Interpolate(pool *sched.Pool, fine, coarse *grid.Grid) {
 			fo[nf-1] = 0.5 * (cr[nc-1] + next[nc-1])
 		}
 	}
-	if pool == nil || pool.Workers() == 1 || nc < parallelThreshold {
+	if pool == nil {
 		body(0, nc)
 	} else {
-		pool.ParallelFor(0, nc, 0, body)
+		pool.ParallelForPoints(0, nc, 2*nf, body)
 	}
 	fine.ZeroBoundary()
 }
@@ -234,10 +404,10 @@ func interpolate3(pool *sched.Pool, fine, coarse *grid.Grid) {
 			average(fine.Row3(fo, nf-1), row, rowNext)
 		}
 	}
-	if pool == nil || pool.Workers() == 1 || nc < parallelThreshold3D {
+	if pool == nil {
 		body(0, nc)
 	} else {
-		pool.ParallelFor(0, nc, 0, body)
+		pool.ParallelForPoints(0, nc, 2*nf*nf, body)
 	}
 	fine.ZeroBoundary()
 }

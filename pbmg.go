@@ -169,6 +169,14 @@ type Options struct {
 	Seed int64
 	// Logf, when non-nil, receives tuning progress lines.
 	Logf func(format string, args ...any)
+	// NoFuse disables the fused single-pass cycle kernels on the built
+	// solver's workspace and runs the original separate
+	// smooth/residual/restrict/norm passes. The two paths perform the same
+	// sweeps bit for bit and agree on restrictions and norms to
+	// floating-point association (≤1e-12 of the data scale; iterates may
+	// differ in low-order bits), so this is a benchmarking escape hatch
+	// (mgbench -nofuse measures the fusion win), not a correctness knob.
+	NoFuse bool
 }
 
 // Solver is a tuned multigrid solver. Create with Tune or Load; release
@@ -238,7 +246,12 @@ func tuneWithPool(o Options, pool *sched.Pool) (*Solver, error) {
 	if err != nil {
 		return nil, err
 	}
-	return newSolver(tuned, pool)
+	s, err := newSolver(tuned, pool)
+	if err != nil {
+		return nil, err
+	}
+	s.ws.NoFuse = o.NoFuse
+	return s, nil
 }
 
 // Load reads a tuned configuration written by Save. Workers configures the
@@ -285,6 +298,15 @@ func (s *Solver) Save(path string) error { return s.tuned.Save(path) }
 
 // Machine returns the name of the cost model the solver was tuned for.
 func (s *Solver) Machine() string { return s.tuned.Machine }
+
+// PoolSteals returns the worker pool's cumulative successful-steal count
+// (0 for a serial solver) — scheduler visibility for benchmark reports.
+func (s *Solver) PoolSteals() int64 {
+	if s.pool == nil {
+		return 0
+	}
+	return s.pool.Steals()
+}
 
 // Family returns the operator family the solver was tuned for.
 func (s *Solver) Family() Family { return s.ws.Operator().Family() }

@@ -153,6 +153,15 @@ func NewRegistry(o RegistryOptions) *Registry {
 // MaxInFlight returns the global admission limit shared by every family.
 func (r *Registry) MaxInFlight() int { return cap(r.sem) }
 
+// PoolSteals returns the shared worker pool's cumulative successful-steal
+// count (0 for a serial registry) — scheduler visibility for benchmarks.
+func (r *Registry) PoolSteals() int64 {
+	if r.pool == nil {
+		return 0
+	}
+	return r.pool.Steals()
+}
+
 // Register adopts a tuned solver into the registry: its workspace is rewired
 // onto the registry's shared worker pool and factor cache, and it is served
 // behind the global admission limit. The registry service also becomes the
