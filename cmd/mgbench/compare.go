@@ -4,21 +4,26 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sort"
 )
 
-// The compare gate diffs two family-baseline reports (the BENCH_<family>.json
-// format runBaseline writes) cell by cell and fails on wall-clock
-// regressions, so CI can hold a change to "no cell got more than 15%
-// slower". Cells are matched by (level, acc); op counts are also diffed and
-// reported (they are machine-independent, so any drift is a table change,
-// not noise).
+// The compare gate diffs two benchmark reports cell by cell and fails on
+// wall-clock regressions, so CI can hold a change to "no cell got more than
+// 15% slower". Two report formats are understood, sniffed from the cells
+// themselves: family baselines (the BENCH_<family>.json format runBaseline
+// writes, matched by (level, acc)) and kernel reports (the
+// BENCH_kernels.json format runKernels writes, matched by
+// (family, n, kernel) on the fused times). Cells present in only one file
+// are reported as "new" or "removed" rather than failing the gate — tables
+// legitimately grow and shrink across PRs — but a compare with no cells in
+// common at all is an error, since it gates nothing.
 
 // compareMaxSlowdown is the wallNs regression threshold: a cell may be at
 // most this fraction slower in new than in old before the gate fails.
 const compareMaxSlowdown = 0.15
 
 // compareFloorNS exempts cells whose wall times are both under this floor:
-// sub-100µs solves are dominated by timer and scheduler noise, and a 15%
+// sub-100µs timings are dominated by timer and scheduler noise, and a 15%
 // band around them gates nothing real.
 const compareFloorNS = 100_000
 
@@ -38,9 +43,47 @@ func loadBenchReport(path string) (*benchReport, error) {
 	return &rep, nil
 }
 
+// reportIsKernels sniffs whether a report file is in the kernels format
+// (cells keyed by "kernel") rather than the family-baseline format.
+func reportIsKernels(path string) (bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return false, err
+	}
+	var probe struct {
+		Cells []map[string]json.RawMessage `json:"cells"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return false, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(probe.Cells) == 0 {
+		return false, fmt.Errorf("%s: no cells (not a benchmark report?)", path)
+	}
+	_, ok := probe.Cells[0]["kernel"]
+	return ok, nil
+}
+
 // runCompare diffs oldPath against newPath and returns an error (failing the
 // gate) if any matched cell slowed down by more than compareMaxSlowdown.
 func runCompare(oldPath, newPath string) error {
+	oldKernels, err := reportIsKernels(oldPath)
+	if err != nil {
+		return err
+	}
+	newKernels, err := reportIsKernels(newPath)
+	if err != nil {
+		return err
+	}
+	if oldKernels != newKernels {
+		return fmt.Errorf("compare: format mismatch: %s and %s are different report kinds", oldPath, newPath)
+	}
+	if oldKernels {
+		return compareKernelReports(oldPath, newPath)
+	}
+	return compareBaselineReports(oldPath, newPath)
+}
+
+func compareBaselineReports(oldPath, newPath string) error {
 	oldRep, err := loadBenchReport(oldPath)
 	if err != nil {
 		return err
@@ -66,13 +109,17 @@ func runCompare(oldPath, newPath string) error {
 	fmt.Printf("compare %s: %s -> %s (gate: ≤%.0f%% slower per cell, ≥%v floor)\n",
 		oldRep.Family, oldPath, newPath, compareMaxSlowdown*100, compareFloorNS)
 	fmt.Printf("%6s %10s %12s %12s %8s %8s\n", "level", "acc", "old", "new", "ratio", "sweeps")
-	var regressions []string
+	var regressions, added, removed []string
 	matched := 0
+	seen := make(map[key]bool, len(newRep.Cells))
 	for _, nc := range newRep.Cells {
-		oc, ok := oldCells[key{nc.Level, nc.Acc}]
+		k := key{nc.Level, nc.Acc}
+		oc, ok := oldCells[k]
 		if !ok {
+			added = append(added, fmt.Sprintf("level %d acc %.0e (%dns)", nc.Level, nc.Acc, nc.WallNS))
 			continue
 		}
+		seen[k] = true
 		matched++
 		ratio := float64(nc.WallNS) / float64(oc.WallNS)
 		sweeps := fmt.Sprintf("%d", nc.Sweeps)
@@ -88,6 +135,99 @@ func runCompare(oldPath, newPath string) error {
 		fmt.Printf("%6d %10.0e %12d %12d %7.2fx %8s%s\n",
 			nc.Level, nc.Acc, oc.WallNS, nc.WallNS, ratio, sweeps, flag)
 	}
+	for _, oc := range oldRep.Cells {
+		if !seen[key{oc.Level, oc.Acc}] {
+			removed = append(removed, fmt.Sprintf("level %d acc %.0e (%dns)", oc.Level, oc.Acc, oc.WallNS))
+		}
+	}
+	printOneSided(added, removed)
+	return compareVerdict(matched, regressions, oldPath, newPath)
+}
+
+func compareKernelReports(oldPath, newPath string) error {
+	load := func(path string) (*kernelsReport, error) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var rep kernelsReport
+		if err := json.Unmarshal(data, &rep); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		if len(rep.Cells) == 0 {
+			return nil, fmt.Errorf("%s: no cells (not a kernels report?)", path)
+		}
+		return &rep, nil
+	}
+	oldRep, err := load(oldPath)
+	if err != nil {
+		return err
+	}
+	newRep, err := load(newPath)
+	if err != nil {
+		return err
+	}
+
+	type key struct {
+		family string
+		n      int
+		kernel string
+	}
+	oldCells := make(map[key]kernelCell, len(oldRep.Cells))
+	for _, c := range oldRep.Cells {
+		oldCells[key{c.Family, c.N, c.Kernel}] = c
+	}
+
+	fmt.Printf("compare kernels: %s -> %s (gate: ≤%.0f%% slower fused per cell, ≥%v floor)\n",
+		oldPath, newPath, compareMaxSlowdown*100, compareFloorNS)
+	fmt.Printf("%-10s %6s %-18s %12s %12s %8s\n", "family", "N", "kernel", "old fused", "new fused", "ratio")
+	var regressions, added, removed []string
+	matched := 0
+	seen := make(map[key]bool, len(newRep.Cells))
+	for _, nc := range newRep.Cells {
+		k := key{nc.Family, nc.N, nc.Kernel}
+		oc, ok := oldCells[k]
+		if !ok {
+			added = append(added, fmt.Sprintf("%s N=%d %s (%.2fx fused)", nc.Family, nc.N, nc.Kernel, nc.Speedup))
+			continue
+		}
+		seen[k] = true
+		matched++
+		ratio := float64(nc.FusedNS) / float64(oc.FusedNS)
+		flag := ""
+		if ratio > 1+compareMaxSlowdown && (oc.FusedNS >= compareFloorNS || nc.FusedNS >= compareFloorNS) {
+			flag = "  REGRESSION"
+			regressions = append(regressions,
+				fmt.Sprintf("%s N=%d %s: %.2fx (%dns -> %dns)", nc.Family, nc.N, nc.Kernel, ratio, oc.FusedNS, nc.FusedNS))
+		}
+		fmt.Printf("%-10s %6d %-18s %12d %12d %7.2fx%s\n",
+			nc.Family, nc.N, nc.Kernel, oc.FusedNS, nc.FusedNS, ratio, flag)
+	}
+	for _, oc := range oldRep.Cells {
+		if !seen[key{oc.Family, oc.N, oc.Kernel}] {
+			removed = append(removed, fmt.Sprintf("%s N=%d %s (%dns fused)", oc.Family, oc.N, oc.Kernel, oc.FusedNS))
+		}
+	}
+	printOneSided(added, removed)
+	return compareVerdict(matched, regressions, oldPath, newPath)
+}
+
+// printOneSided lists cells present in only one report. They are
+// informational, not gate failures: tables grow and shrink across PRs.
+func printOneSided(added, removed []string) {
+	sort.Strings(added)
+	sort.Strings(removed)
+	for _, a := range added {
+		fmt.Println("  new: " + a)
+	}
+	for _, r := range removed {
+		fmt.Println("  removed: " + r)
+	}
+}
+
+// compareVerdict applies the shared pass/fail rules: at least one matched
+// cell, and no matched cell past the slowdown gate.
+func compareVerdict(matched int, regressions []string, oldPath, newPath string) error {
 	if matched == 0 {
 		return fmt.Errorf("compare: no cells in common between %s and %s", oldPath, newPath)
 	}

@@ -30,8 +30,13 @@ type kernelCell struct {
 	N      int     `json:"n"`
 	// Kernel names the fused pass under test: "downstroke" (smooth +
 	// residual + restrict vs smooth + ResidualRestrict), "smooth+residual"
-	// (vs SmoothResidual), "sweep+norm" (vs SweepWithNorm), and
-	// "residual-norm" (serial vs pool-parallel ResidualNorm).
+	// (vs SmoothResidual), "sweep+norm" (vs SweepWithNorm), "upstroke"
+	// (interpolate + correct + sweep + residual norm vs
+	// InterpolateCorrectSmooth + FinishSmoothWithNorm), "sorx12" (12 strided
+	// SOR sweeps vs Operator.SORSweeps, which picks the unit-stride
+	// color-split layout where its gate says it wins and falls back to the
+	// strided loop elsewhere), and "residual-norm" (serial vs pool-parallel
+	// ResidualNorm).
 	Kernel    string  `json:"kernel"`
 	UnfusedNS int64   `json:"unfusedNs"`
 	FusedNS   int64   `json:"fusedNs"`
@@ -96,8 +101,12 @@ func kernelFamilies() []struct {
 }
 
 // runKernels measures every family's fused and unfused passes and
-// optionally writes BENCH_kernels.json.
-func runKernels(workers int, seed int64, writeJSON bool, logf func(string, ...any)) error {
+// optionally writes BENCH_kernels.json. With gate set it turns into a
+// same-machine regression check: every fusion row (upstroke included) must
+// keep the fused variant within the compare slowdown band of its unfused
+// oracle, so a fusion that has stopped paying for itself fails CI without
+// needing a stored baseline from an identical machine.
+func runKernels(workers int, seed int64, writeJSON, gate bool, logf func(string, ...any)) error {
 	var pool *sched.Pool
 	if workers > 1 {
 		pool = sched.NewPool(workers)
@@ -183,6 +192,43 @@ func runKernels(workers int, seed int64, writeJSON bool, logf func(string, ...an
 			})
 			emit("sweep+norm", unfused, fused)
 
+			// The V-cycle upstroke as the adaptive cycle runs it at the
+			// finest level: coarse correction, post-smooth, and the
+			// convergence probe. Unfused that is four-plus full-grid passes
+			// (interpolate into scratch, add, sweep, residual norm); fused
+			// it is InterpolateCorrectSmooth (scratch-free correction + red
+			// half-sweep) completed by FinishSmoothWithNorm (black
+			// half-sweep with the delta-emitted norm). Both sides produce
+			// bit-identical iterates and norms.
+			cx := grid.NewDim(fam.dim, grid.Coarsen(n))
+			grid.FillRandom(cx, grid.Unbiased, rng)
+			scratch := grid.NewDim(fam.dim, n)
+			unfused = benchBest(reset, func() {
+				transfer.InterpolateAdd(pool, x, cx, scratch)
+				op.SORSweepRB(pool, x, b, h, omega)
+				op.ResidualNorm(pool, x, b, h)
+			})
+			fused = benchBest(reset, func() {
+				op.InterpolateCorrectSmooth(pool, x, b, cx, h, omega)
+				op.FinishSmoothWithNorm(pool, x, b, h, omega)
+			})
+			emit("upstroke", unfused, fused)
+
+			// A 12-sweep relaxation run: the strided loop vs SORSweeps, which
+			// repacks into the unit-stride color-split layout where the gate
+			// (N≥257 2D, N≥65 3D) predicts a win and falls back elsewhere, so
+			// ungated sizes should read ≈1.0x.
+			const splitSweeps = 12
+			unfused = benchBest(reset, func() {
+				for s := 0; s < splitSweeps; s++ {
+					op.SORSweepRB(pool, x, b, h, omega)
+				}
+			})
+			fused = benchBest(reset, func() {
+				op.SORSweeps(pool, x, b, h, omega, splitSweeps)
+			})
+			emit("sorx12", unfused, fused)
+
 			// The parallel-norm satellite: serial vs pool reduction (equal on
 			// one worker, informative on many).
 			unfused = benchBest(func() {}, func() {
@@ -197,6 +243,34 @@ func runKernels(workers int, seed int64, writeJSON bool, logf func(string, ...an
 
 	if pool != nil {
 		rep.Steals = pool.Steals()
+	}
+	if gate {
+		// residual-norm compares serial vs pooled (a parallelism check, not
+		// a fusion) and is skipped; every other row is a fused kernel vs its
+		// unfused oracle on this same machine and run.
+		var failures []string
+		for _, c := range rep.Cells {
+			if c.Kernel == "residual-norm" {
+				continue
+			}
+			if c.UnfusedNS < compareFloorNS && c.FusedNS < compareFloorNS {
+				continue
+			}
+			if c.Speedup < 1/(1+compareMaxSlowdown) {
+				failures = append(failures, fmt.Sprintf(
+					"%s N=%d %s: fused %.2fx vs unfused (%dns -> %dns)",
+					c.Family, c.N, c.Kernel, c.Speedup, c.UnfusedNS, c.FusedNS))
+			}
+		}
+		if len(failures) > 0 {
+			for _, f := range failures {
+				fmt.Println("GATE FAIL: " + f)
+			}
+			return fmt.Errorf("kernels gate: %d fused kernels slower than their unfused oracles by >%.0f%%",
+				len(failures), compareMaxSlowdown*100)
+		}
+		fmt.Printf("kernels gate OK: all fused kernels within %.0f%% of their unfused oracles\n",
+			compareMaxSlowdown*100)
 	}
 	if writeJSON {
 		data, err := json.MarshalIndent(rep, "", "  ")

@@ -33,8 +33,9 @@ func main() {
 	jsonOut := flag.Bool("json", false, "with -exp baseline, serve, or kernels, also write BENCH_<family>.json / BENCH_serve.json / BENCH_kernels.json for per-PR perf tracking")
 	noFuse := flag.Bool("nofuse", false, "with -exp baseline, disable the fused cycle kernels (measures the pre-fusion pass structure)")
 	out := flag.String("out", "", "with -exp baseline -json, write the report to this path instead of BENCH_<family>.json")
+	gate := flag.Bool("gate", false, "with -exp kernels, fail if any fused kernel is >15% slower than its unfused oracle (same-machine fusion regression gate)")
 	compare := flag.String("compare", "",
-		"regression gate: compare this old baseline JSON against the new baseline JSON given as the positional argument; exit nonzero if any cell's wallNs slowed >15% (usage: mgbench -compare old.json new.json)")
+		"regression gate: compare this old report JSON (baseline or kernels format) against the new report given as the positional argument; cells in only one file are listed as new/removed; exit nonzero if any matched cell slowed >15% (usage: mgbench -compare old.json new.json)")
 	quiet := flag.Bool("q", false, "suppress progress output")
 	flag.Parse()
 
@@ -65,7 +66,7 @@ func main() {
 		return
 	}
 	if *exp == "kernels" {
-		if err := runKernels(*workers, *seed, *jsonOut, logf); err != nil {
+		if err := runKernels(*workers, *seed, *jsonOut, *gate, logf); err != nil {
 			fmt.Fprintln(os.Stderr, "mgbench:", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,126 @@
+// Color-split storage: the red ((coordinate sum) even) and black (odd)
+// points of a grid stored as two contiguous planes of half-rows, so a
+// red-black half-sweep walks each color with unit stride instead of the
+// stride-2 hops the interleaved layout forces. The layout is a solver-side
+// staging format, not a replacement for Grid: kernels Pack the strided grid
+// in, run their sweeps on the split planes, and Unpack the result out at the
+// solve boundary.
+//
+// Indexing. Each row (2D) or pencil (3D) of n points splits into its red and
+// black subsequences, stored padded to w = (n+1)/2 entries. With
+// s = i&1 (2D) or s = (i+j)&1 (3D) the parity of the row's first red point,
+// the point at column j maps to half-row index j>>1 in the red plane when
+// (j&1) == s, and to j>>1 in the black plane otherwise. Rows with s == 0
+// hold w red and w−1 black values; rows with s == 1 hold w−1 red and w black
+// (the last pad cell of the short color is unused). The uniform j>>1 mapping
+// means a point's half-index never depends on its own color, which keeps
+// neighbour offsets in the sweep kernels constant per row.
+package grid
+
+// Split holds one grid's values in color-split layout: red points first,
+// then black, each as n (2D) or n² (3D) half-rows of w float64s.
+type Split struct {
+	n, dim, w int
+	red       []float64
+	black     []float64
+}
+
+// NewSplit returns a zeroed color-split buffer for a dim-dimensional grid of
+// side n.
+func NewSplit(dim, n int) *Split {
+	w := (n + 1) / 2
+	rows := n
+	if dim == 3 {
+		rows = n * n
+	}
+	return &Split{n: n, dim: dim, w: w,
+		red:   make([]float64, rows*w),
+		black: make([]float64, rows*w),
+	}
+}
+
+// N returns the grid side length.
+func (s *Split) N() int { return s.n }
+
+// Dim returns the dimensionality (2 or 3).
+func (s *Split) Dim() int { return s.dim }
+
+// W returns the half-row width (n+1)/2.
+func (s *Split) W() int { return s.w }
+
+// Red returns row i's red half-row (2D).
+func (s *Split) Red(i int) []float64 { return s.red[i*s.w : (i+1)*s.w] }
+
+// Black returns row i's black half-row (2D).
+func (s *Split) Black(i int) []float64 { return s.black[i*s.w : (i+1)*s.w] }
+
+// Red3 returns pencil (i,j)'s red half-row (3D).
+func (s *Split) Red3(i, j int) []float64 {
+	base := (i*s.n + j) * s.w
+	return s.red[base : base+s.w]
+}
+
+// Black3 returns pencil (i,j)'s black half-row (3D).
+func (s *Split) Black3(i, j int) []float64 {
+	base := (i*s.n + j) * s.w
+	return s.black[base : base+s.w]
+}
+
+// Pack copies g into the split layout. g must match the split's dim and n.
+func (s *Split) Pack(g *Grid) {
+	if g.N() != s.n || g.Dim() != s.dim {
+		panic("grid: Split.Pack shape mismatch")
+	}
+	if s.dim == 3 {
+		for i := 0; i < s.n; i++ {
+			for j := 0; j < s.n; j++ {
+				packRow(s.Red3(i, j), s.Black3(i, j), g.Row3(i, j), (i+j)&1)
+			}
+		}
+		return
+	}
+	for i := 0; i < s.n; i++ {
+		packRow(s.Red(i), s.Black(i), g.Row(i), i&1)
+	}
+}
+
+// Unpack copies the split values back into g.
+func (s *Split) Unpack(g *Grid) {
+	if g.N() != s.n || g.Dim() != s.dim {
+		panic("grid: Split.Unpack shape mismatch")
+	}
+	if s.dim == 3 {
+		for i := 0; i < s.n; i++ {
+			for j := 0; j < s.n; j++ {
+				unpackRow(s.Red3(i, j), s.Black3(i, j), g.Row3(i, j), (i+j)&1)
+			}
+		}
+		return
+	}
+	for i := 0; i < s.n; i++ {
+		unpackRow(s.Red(i), s.Black(i), g.Row(i), i&1)
+	}
+}
+
+// packRow splits one strided row into its red and black halves; s is the
+// column parity of the row's first red point.
+func packRow(red, black, row []float64, s int) {
+	n := len(row)
+	for j := s; j < n; j += 2 {
+		red[j>>1] = row[j]
+	}
+	for j := 1 - s; j < n; j += 2 {
+		black[j>>1] = row[j]
+	}
+}
+
+// unpackRow merges red and black halves back into a strided row.
+func unpackRow(red, black, row []float64, s int) {
+	n := len(row)
+	for j := s; j < n; j += 2 {
+		row[j] = red[j>>1]
+	}
+	for j := 1 - s; j < n; j += 2 {
+		row[j] = black[j>>1]
+	}
+}

@@ -123,6 +123,14 @@ func (e *Executor) Estimate(x, b *grid.Grid, estAcc int) {
 	e.WS.restrictResidual(x, b, bufs.cb, bufs.r, e.Rec)
 	bufs.cx.Zero()
 	e.SolveFull(bufs.cx, bufs.cb, estAcc)
-	transfer.InterpolateAdd(e.WS.Pool, x, bufs.cx, bufs.scratch)
+	// ESTIMATE has no post-smooth to fuse the correction into, but the
+	// scratch-free interpolate-add still halves the pass's grid traffic
+	// (interpolated rows stream from a cache-resident buffer instead of a
+	// materialized full-size scratch grid). NoFuse keeps the oracle.
+	if e.WS.NoFuse {
+		transfer.InterpolateAdd(e.WS.Pool, x, bufs.cx, bufs.scratch)
+	} else {
+		transfer.InterpolateAddFused(e.WS.Pool, x, bufs.cx)
+	}
 	record(e.Rec, EvInterp, lvl, 1)
 }

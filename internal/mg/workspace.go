@@ -157,13 +157,21 @@ func (ws *Workspace) SolveDirect(x, b *grid.Grid, rec Recorder) {
 }
 
 // SOR runs the given number of red-black SOR sweeps with weight omega,
-// recording them as one iterative shortcut solve.
+// recording them as one iterative shortcut solve. The default path lets the
+// operator pick the unit-stride color-split layout when the solve is long
+// and large enough to amortize its pack/unpack (stencil.SplitWorthwhile);
+// NoFuse pins the strided oracle loop. The iterate is bit-identical either
+// way.
 func (ws *Workspace) SOR(x, b *grid.Grid, omega float64, sweeps int, rec Recorder) {
 	n := x.N()
 	h := 1.0 / float64(n-1)
 	op := ws.opAt(n)
-	for s := 0; s < sweeps; s++ {
-		op.SORSweepRB(ws.Pool, x, b, h, omega)
+	if ws.NoFuse {
+		for s := 0; s < sweeps; s++ {
+			op.SORSweepRB(ws.Pool, x, b, h, omega)
+		}
+	} else {
+		op.SORSweeps(ws.Pool, x, b, h, omega, sweeps)
 	}
 	record(rec, EvIterSolve, grid.Level(n), sweeps)
 }
@@ -298,20 +306,30 @@ func (ws *Workspace) recurseWith(x, b *grid.Grid, rec Recorder, coarseSolve func
 	}
 	bufs.cx.Zero()
 	coarseSolve(bufs.cx, bufs.cb)
-	transfer.InterpolateAdd(ws.Pool, x, bufs.cx, bufs.scratch)
-	record(rec, EvInterp, lvl, 1)
-	if norm == nil {
-		ws.smooth(x, b, bufs.scratch, 1, rec)
-		return
-	}
-	// Norm-returning post-smooth: the SOR smoother folds the residual
-	// reduction into its final sweep; the Jacobi ablation (and the NoFuse
-	// oracle) fall back to a separate deterministic norm pass.
+
+	// Upstroke: interpolate, correct, post-smooth. With the SOR smoother the
+	// prolongation and correction fold into the post-smooth's red half-sweep
+	// (InterpolateCorrectSmooth) — the standalone interpolate and correct
+	// full-grid passes disappear, and the black half completes the sweep
+	// either plainly (FinishSmooth) or fused with the convergence probe
+	// (FinishSmoothWithNorm). The iterate is bit-identical to the separate
+	// passes, which the Jacobi ablation and the NoFuse oracle preserve.
 	if ws.Smoother == SmootherSOR && !ws.NoFuse {
-		*norm = op.SweepWithNorm(ws.Pool, x, b, h, op.OmegaSmooth())
+		omega := op.OmegaSmooth()
+		op.InterpolateCorrectSmooth(ws.Pool, x, b, bufs.cx, h, omega)
+		record(rec, EvInterp, lvl, 1)
+		if norm == nil {
+			op.FinishSmooth(ws.Pool, x, b, h, omega)
+		} else {
+			*norm = op.FinishSmoothWithNorm(ws.Pool, x, b, h, omega)
+		}
 		record(rec, EvRelax, lvl, 1)
 		return
 	}
+	transfer.InterpolateAdd(ws.Pool, x, bufs.cx, bufs.scratch)
+	record(rec, EvInterp, lvl, 1)
 	ws.smooth(x, b, bufs.scratch, 1, rec)
-	*norm = op.ResidualNorm(ws.Pool, x, b, h)
+	if norm != nil {
+		*norm = op.ResidualNorm(ws.Pool, x, b, h)
+	}
 }

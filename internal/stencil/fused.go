@@ -216,12 +216,20 @@ func smoothResidualRestrict(pool *sched.Pool, coarse, x, b, r *grid.Grid, h, ome
 // returns ‖b − T·x‖₂ over interior points after the sweep, without a
 // separate residual traversal. The reduction is deterministic for any pool.
 func SweepWithNorm(pool *sched.Pool, x, b *grid.Grid, h, omega float64) float64 {
-	n := x.N()
 	h2 := h * h
 	inv := 1 / h2
-	rFac := 4 * (1 - omega) * inv
-	sums := make([]float64, n)
 	redHalfSweep(pool, x, b, h2, omega)
+	return finishSweepNorm(pool, x, b, h2, inv, omega, 4*(1-omega)*inv)
+}
+
+// finishSweepNorm completes a sweep whose red half is already done: the
+// black half-sweep emitting its delta-derived residual into the norm
+// accumulator, then a red norm half-pass over the final iterate. Shared by
+// SweepWithNorm and the fused upstroke's FinishSmoothWithNorm so both
+// produce the same bits.
+func finishSweepNorm(pool *sched.Pool, x, b *grid.Grid, h2, inv, omega, rFac float64) float64 {
+	n := x.N()
+	sums := make([]float64, n)
 	parallelRows(pool, n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			xr := x.Row(i)
@@ -405,14 +413,18 @@ func smoothResidualRestrictConst(pool *sched.Pool, coarse, x, b, r *grid.Grid, h
 
 // sweepWithNormConst is SweepWithNorm for a constant-coefficient stencil.
 func sweepWithNormConst(pool *sched.Pool, x, b *grid.Grid, h, omega, cx, cy float64) float64 {
-	n := x.N()
 	h2 := h * h
-	inv := 1 / h2
+	redHalfSweepConst(pool, x, b, h2, omega, cx, cy, 1/(2*(cx+cy)))
+	return finishSweepNormConst(pool, x, b, h2, 1/h2, omega, cx, cy)
+}
+
+// finishSweepNormConst is finishSweepNorm for a constant-coefficient stencil.
+func finishSweepNormConst(pool *sched.Pool, x, b *grid.Grid, h2, inv, omega, cx, cy float64) float64 {
+	n := x.N()
 	center := 2 * (cx + cy)
 	invC := 1 / center
 	rFac := center * (1 - omega) * inv
 	sums := make([]float64, n)
-	redHalfSweepConst(pool, x, b, h2, omega, cx, cy, invC)
 	parallelRows(pool, n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			xr := x.Row(i)
@@ -591,12 +603,16 @@ func smoothResidualRestrictVar(pool *sched.Pool, coarse, x, b, r *grid.Grid, h, 
 
 // sweepWithNormVar is SweepWithNorm for a variable-coefficient stencil.
 func sweepWithNormVar(pool *sched.Pool, x, b *grid.Grid, h, omega float64, c *grid.Grid) float64 {
-	n := x.N()
 	h2 := h * h
-	inv := 1 / h2
+	redHalfSweepVar(pool, x, b, h2, omega, c)
+	return finishSweepNormVar(pool, x, b, h2, 1/h2, omega, c)
+}
+
+// finishSweepNormVar is finishSweepNorm for a variable-coefficient stencil.
+func finishSweepNormVar(pool *sched.Pool, x, b *grid.Grid, h2, inv, omega float64, c *grid.Grid) float64 {
+	n := x.N()
 	oneMinus := 1 - omega
 	sums := make([]float64, n)
-	redHalfSweepVar(pool, x, b, h2, omega, c)
 	parallelRows(pool, n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			xr := x.Row(i)

@@ -166,12 +166,18 @@ func smoothResidualRestrict3(pool *sched.Pool, coarse, x, b, r *grid.Grid, h, om
 // sweepWithNorm3 performs one full red-black SOR sweep in place on x and
 // returns ‖b − T·x‖₂ over interior points after the sweep.
 func sweepWithNorm3(pool *sched.Pool, x, b *grid.Grid, h, omega float64) float64 {
-	n := x.N()
 	h2 := h * h
 	inv := 1 / h2
-	rFac := 6 * (1 - omega) * inv
-	sums := make([]float64, n)
 	redHalfSweep3(pool, x, b, h2, omega)
+	return finishSweepNorm3(pool, x, b, h2, inv, omega, 6*(1-omega)*inv)
+}
+
+// finishSweepNorm3 completes a 3D sweep whose red half is already done:
+// black half-sweep with delta-derived norm accumulation, then the red norm
+// half-pass. Shared by sweepWithNorm3 and the fused upstroke.
+func finishSweepNorm3(pool *sched.Pool, x, b *grid.Grid, h2, inv, omega, rFac float64) float64 {
+	n := x.N()
+	sums := make([]float64, n)
 	parallelPlanes(pool, n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			var s float64

@@ -110,6 +110,12 @@ type Operator struct {
 
 	coarseOnce sync.Once
 	coarse     *Operator
+
+	// splitCoef memoizes the coefficient field in color-split layout
+	// (FamilyVarCoef only): the field is immutable, so the unit-stride
+	// sweeps pack it once per operator instead of once per solve.
+	splitCoefOnce sync.Once
+	splitCoef     *grid.Split
 }
 
 var poissonOp = &Operator{family: FamilyPoisson, eps: 1}

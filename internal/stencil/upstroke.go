@@ -1,0 +1,250 @@
+// Fused V-cycle upstroke kernels (2D). The unfused upstroke runs four
+// full-grid passes after the coarse solve: interpolate the coarse correction
+// into a scratch grid, add the scratch grid to x, then the post-smooth's two
+// half-sweeps. This file folds the first three into:
+//
+//   - A correction pass that evaluates each row's interpolated correction
+//     into a cache-resident buffer (transfer.InterpRow, the same arithmetic
+//     Interpolate runs) and adds it to the row in place — the scratch grid's
+//     full-grid write and re-read disappear, and the interpolation is
+//     computed exactly once per row.
+//   - The red half-sweep. A red point's Gauss-Seidel average reads only
+//     black neighbours and its own corrected value, so relaxing red after
+//     the correction is complete reads exactly the state the unfused
+//     InterpolateAdd + red half-sweep would — the iterate is bit-identical
+//     to the oracle for any pool.
+//
+// Serial execution interleaves the two as a row wavefront — correct(1);
+// correct(i), relaxRed(i−1); …; relaxRed(n−2) — so each row is relaxed while
+// still cache-resident from its correction and the pair costs a single
+// streaming pass. The interleave is exact: relaxing row i−1 reads black
+// values in rows i−2..i, all corrected by then, and red corrections never
+// feed other reds. Parallel execution keeps two barrier-separated passes,
+// matching the strided kernels' chunk-independence contract.
+//
+// FinishSmooth (the plain black half-sweep) or FinishSmoothWithNorm (the
+// black half-sweep with the delta-derived norm reduction extracted from
+// SweepWithNorm) completes the post-smoothing pass.
+package stencil
+
+import (
+	"pbmg/internal/grid"
+	"pbmg/internal/sched"
+	"pbmg/internal/transfer"
+)
+
+// InterpolateCorrectSmooth applies the coarse-grid correction (the d-linear
+// interpolation of cx added to x's interior) and runs the post-smooth's red
+// half-sweep in the same traversal. Calling FinishSmooth afterwards yields an
+// iterate bit-identical to transfer.InterpolateAdd followed by SORSweepRB;
+// calling FinishSmoothWithNorm additionally returns the post-sweep residual
+// norm exactly as SweepWithNorm computes it. cx must not alias x or b.
+func (op *Operator) InterpolateCorrectSmooth(pool *sched.Pool, x, b, cx *grid.Grid, h, omega float64) {
+	h2 := h * h
+	switch op.family {
+	case FamilyPoisson:
+		interpCorrectRows(pool, x, cx, func(i int) {
+			redRelaxRow(x, b, i, h2, omega)
+		})
+	case FamilyPoisson3D:
+		interpCorrectPlanes(pool, x, cx, func(i int) {
+			redRelaxPlane3(x, b, i, h2, omega)
+		})
+	case FamilyAnisotropic:
+		invC := 1 / (2 * (op.eps + 1))
+		interpCorrectRows(pool, x, cx, func(i int) {
+			redRelaxRowConst(x, b, i, h2, omega, op.eps, 1, invC)
+		})
+	default:
+		op.checkSize(x.N())
+		interpCorrectRows(pool, x, cx, func(i int) {
+			redRelaxRowVar(x, b, i, h2, omega, op.coef)
+		})
+	}
+}
+
+// FinishSmooth runs the black half-sweep completing a post-smoothing pass
+// started by InterpolateCorrectSmooth. The pair is bit-identical to the
+// unfused correction plus one SORSweepRB.
+func (op *Operator) FinishSmooth(pool *sched.Pool, x, b *grid.Grid, h, omega float64) {
+	h2 := h * h
+	switch op.family {
+	case FamilyPoisson:
+		blackHalfSweep(pool, x, b, h2, omega)
+	case FamilyPoisson3D:
+		blackHalfSweep3(pool, x, b, h2, omega)
+	case FamilyAnisotropic:
+		blackHalfSweepConst(pool, x, b, h2, omega, op.eps, 1)
+	default:
+		op.checkSize(x.N())
+		blackHalfSweepVar(pool, x, b, h2, omega, op.coef)
+	}
+}
+
+// FinishSmoothWithNorm is FinishSmooth fused with the convergence probe: it
+// completes the sweep and returns ‖b − T·x‖₂ over interior points, computed
+// by the same delta-emission and deterministic per-row reduction as
+// SweepWithNorm — InterpolateCorrectSmooth followed by FinishSmoothWithNorm
+// returns the same bits as InterpolateAdd followed by SweepWithNorm.
+func (op *Operator) FinishSmoothWithNorm(pool *sched.Pool, x, b *grid.Grid, h, omega float64) float64 {
+	h2 := h * h
+	inv := 1 / h2
+	switch op.family {
+	case FamilyPoisson:
+		return finishSweepNorm(pool, x, b, h2, inv, omega, 4*(1-omega)*inv)
+	case FamilyPoisson3D:
+		return finishSweepNorm3(pool, x, b, h2, inv, omega, 6*(1-omega)*inv)
+	case FamilyAnisotropic:
+		return finishSweepNormConst(pool, x, b, h2, inv, omega, op.eps, 1)
+	default:
+		op.checkSize(x.N())
+		return finishSweepNormVar(pool, x, b, h2, inv, omega, op.coef)
+	}
+}
+
+// interpCorrectRows adds the bilinear interpolation of cx to every interior
+// row of x (computing each row's correction exactly once) and relaxes the
+// red points via redRow. Serial execution runs the row wavefront; parallel
+// execution separates the correction and relaxation passes with a barrier,
+// so redRow always reads fully corrected rows i−1..i+1.
+func interpCorrectRows(pool *sched.Pool, x, cx *grid.Grid, redRow func(i int)) {
+	n := x.N()
+	correct := func(buf []float64, i int) {
+		transfer.InterpRow(buf, cx, i)
+		xr := x.Row(i)
+		for j := 1; j < n-1; j++ {
+			xr[j] += buf[j]
+		}
+	}
+	if pool == nil {
+		buf := make([]float64, n)
+		correct(buf, 1)
+		for i := 2; i < n-1; i++ {
+			correct(buf, i)
+			redRow(i - 1)
+		}
+		redRow(n - 2)
+		return
+	}
+	parallelRows(pool, n, func(lo, hi int) {
+		buf := make([]float64, n)
+		for i := lo; i < hi; i++ {
+			correct(buf, i)
+		}
+	})
+	parallelRows(pool, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			redRow(i)
+		}
+	})
+}
+
+// redRelaxRow relaxes the red ((i+j) even) points of row i for the
+// Laplacian — SORSweepRB's color-0 half restricted to one row.
+func redRelaxRow(x, b *grid.Grid, i int, h2, omega float64) {
+	n := x.N()
+	xr := x.Row(i)
+	up := x.Row(i - 1)
+	down := x.Row(i + 1)
+	br := b.Row(i)
+	for j := 1 + (i+1)%2; j < n-1; j += 2 {
+		gs := (up[j] + down[j] + xr[j-1] + xr[j+1] + h2*br[j]) * 0.25
+		xr[j] += omega * (gs - xr[j])
+	}
+}
+
+// redRelaxRowConst is redRelaxRow for a constant-coefficient stencil.
+func redRelaxRowConst(x, b *grid.Grid, i int, h2, omega, cx, cy, invC float64) {
+	n := x.N()
+	xr := x.Row(i)
+	up := x.Row(i - 1)
+	down := x.Row(i + 1)
+	br := b.Row(i)
+	for j := 1 + (i+1)%2; j < n-1; j += 2 {
+		gs := (cy*(up[j]+down[j]) + cx*(xr[j-1]+xr[j+1]) + h2*br[j]) * invC
+		xr[j] += omega * (gs - xr[j])
+	}
+}
+
+// redRelaxRowVar is redRelaxRow for a variable-coefficient stencil.
+func redRelaxRowVar(x, b *grid.Grid, i int, h2, omega float64, c *grid.Grid) {
+	n := x.N()
+	xr := x.Row(i)
+	up := x.Row(i - 1)
+	down := x.Row(i + 1)
+	br := b.Row(i)
+	cr := c.Row(i)
+	cu := c.Row(i - 1)
+	cd := c.Row(i + 1)
+	for j := 1 + (i+1)%2; j < n-1; j += 2 {
+		cc := cr[j]
+		cn := 0.5 * (cc + cu[j])
+		cs := 0.5 * (cc + cd[j])
+		cw := 0.5 * (cc + cr[j-1])
+		ce := 0.5 * (cc + cr[j+1])
+		gs := (cn*up[j] + cs*down[j] + cw*xr[j-1] + ce*xr[j+1] + h2*br[j]) / (cn + cs + cw + ce)
+		xr[j] += omega * (gs - xr[j])
+	}
+}
+
+// blackHalfSweep is SORSweepRB's color-1 half-sweep for the Laplacian.
+func blackHalfSweep(pool *sched.Pool, x, b *grid.Grid, h2, omega float64) {
+	n := x.N()
+	parallelRows(pool, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			xr := x.Row(i)
+			up := x.Row(i - 1)
+			down := x.Row(i + 1)
+			br := b.Row(i)
+			for j := 1 + i%2; j < n-1; j += 2 {
+				gs := (up[j] + down[j] + xr[j-1] + xr[j+1] + h2*br[j]) * 0.25
+				xr[j] += omega * (gs - xr[j])
+			}
+		}
+	})
+}
+
+// blackHalfSweepConst is the color-1 half-sweep for a constant-coefficient
+// stencil.
+func blackHalfSweepConst(pool *sched.Pool, x, b *grid.Grid, h2, omega, cx, cy float64) {
+	n := x.N()
+	invC := 1 / (2 * (cx + cy))
+	parallelRows(pool, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			xr := x.Row(i)
+			up := x.Row(i - 1)
+			down := x.Row(i + 1)
+			br := b.Row(i)
+			for j := 1 + i%2; j < n-1; j += 2 {
+				gs := (cy*(up[j]+down[j]) + cx*(xr[j-1]+xr[j+1]) + h2*br[j]) * invC
+				xr[j] += omega * (gs - xr[j])
+			}
+		}
+	})
+}
+
+// blackHalfSweepVar is the color-1 half-sweep for a variable-coefficient
+// stencil.
+func blackHalfSweepVar(pool *sched.Pool, x, b *grid.Grid, h2, omega float64, c *grid.Grid) {
+	n := x.N()
+	parallelRows(pool, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			xr := x.Row(i)
+			up := x.Row(i - 1)
+			down := x.Row(i + 1)
+			br := b.Row(i)
+			cr := c.Row(i)
+			cu := c.Row(i - 1)
+			cd := c.Row(i + 1)
+			for j := 1 + i%2; j < n-1; j += 2 {
+				cc := cr[j]
+				cn := 0.5 * (cc + cu[j])
+				cs := 0.5 * (cc + cd[j])
+				cw := 0.5 * (cc + cr[j-1])
+				ce := 0.5 * (cc + cr[j+1])
+				gs := (cn*up[j] + cs*down[j] + cw*xr[j-1] + ce*xr[j+1] + h2*br[j]) / (cn + cs + cw + ce)
+				xr[j] += omega * (gs - xr[j])
+			}
+		}
+	})
+}

@@ -1,0 +1,94 @@
+// Fused V-cycle upstroke kernels for the 3D 7-point stencil — the
+// plane-parallel counterparts of upstroke.go. The correction pass evaluates
+// each (i,j) pencil's trilinear correction once (transfer.InterpRow3, the
+// same arithmetic transfer.Interpolate runs) and adds it in place; the red
+// half-sweep then reads only black neighbours plus corrected reds, so the
+// iterate is bit-identical to InterpolateAdd + red half-sweep for any pool.
+// Serial execution interleaves the two as a plane wavefront — relaxing plane
+// i−1 right after correcting plane i, while both are cache-resident.
+package stencil
+
+import (
+	"pbmg/internal/grid"
+	"pbmg/internal/sched"
+	"pbmg/internal/transfer"
+)
+
+// interpCorrectPlanes is interpCorrectRows over planes: add the trilinear
+// interpolation of cx to every interior pencil of x (one InterpRow3 per
+// pencil) and relax the red points via redPlane — wavefront when serial, two
+// barrier-separated passes when pooled.
+func interpCorrectPlanes(pool *sched.Pool, x, cx *grid.Grid, redPlane func(i int)) {
+	n := x.N()
+	correct := func(buf, tmp []float64, i int) {
+		for j := 1; j < n-1; j++ {
+			transfer.InterpRow3(buf, tmp, cx, i, j)
+			xr := x.Row3(i, j)
+			for k := 1; k < n-1; k++ {
+				xr[k] += buf[k]
+			}
+		}
+	}
+	if pool == nil {
+		buf := make([]float64, n)
+		tmp := make([]float64, n)
+		correct(buf, tmp, 1)
+		for i := 2; i < n-1; i++ {
+			correct(buf, tmp, i)
+			redPlane(i - 1)
+		}
+		redPlane(n - 2)
+		return
+	}
+	parallelPlanes(pool, n, func(lo, hi int) {
+		buf := make([]float64, n)
+		tmp := make([]float64, n)
+		for i := lo; i < hi; i++ {
+			correct(buf, tmp, i)
+		}
+	})
+	parallelPlanes(pool, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			redPlane(i)
+		}
+	})
+}
+
+// redRelaxPlane3 relaxes the red ((i+j+k) even) points of plane i —
+// sorSweepRB3's color-0 half restricted to one plane.
+func redRelaxPlane3(x, b *grid.Grid, i int, h2, omega float64) {
+	n := x.N()
+	for j := 1; j < n-1; j++ {
+		xr := x.Row3(i, j)
+		up := x.Row3(i-1, j)
+		down := x.Row3(i+1, j)
+		north := x.Row3(i, j-1)
+		south := x.Row3(i, j+1)
+		br := b.Row3(i, j)
+		for k := 1 + (i+j+1)%2; k < n-1; k += 2 {
+			gs := (up[k] + down[k] + north[k] + south[k] + xr[k-1] + xr[k+1] + h2*br[k]) * (1.0 / 6.0)
+			xr[k] += omega * (gs - xr[k])
+		}
+	}
+}
+
+// blackHalfSweep3 is sorSweepRB3's color-1 half-sweep.
+func blackHalfSweep3(pool *sched.Pool, x, b *grid.Grid, h2, omega float64) {
+	n := x.N()
+	parallelPlanes(pool, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for j := 1; j < n-1; j++ {
+				xr := x.Row3(i, j)
+				up := x.Row3(i-1, j)
+				down := x.Row3(i+1, j)
+				north := x.Row3(i, j-1)
+				south := x.Row3(i, j+1)
+				br := b.Row3(i, j)
+				for k := 1 + (i+j)%2; k < n-1; k += 2 {
+					gs := (up[k] + down[k] + north[k] + south[k] + xr[k-1] + xr[k+1] + h2*br[k]) * (1.0 / 6.0)
+					xr[k] += omega * (gs - xr[k])
+				}
+			}
+		}
+	})
+}

@@ -291,6 +291,72 @@ func RestrictSep3(pool *sched.Pool, coarse, fine *grid.Grid) {
 	})
 }
 
+// interpEvenRow writes the fine row sitting on top of coarse row cr: copy at
+// coincident points, horizontal 2-point average in between. It is the single
+// source of the even-row interpolation arithmetic, shared by Interpolate, the
+// 3D tensor product, and the per-row providers (InterpRow/InterpRow3), so
+// every consumer agrees bit for bit.
+func interpEvenRow(fr, cr []float64, nc int) {
+	for cj := 0; cj < nc-1; cj++ {
+		fj := 2 * cj
+		fr[fj] = cr[cj]
+		fr[fj+1] = 0.5 * (cr[cj] + cr[cj+1])
+	}
+	fr[2*(nc-1)] = cr[nc-1]
+}
+
+// interpOddRow writes the fine row between coarse rows cr and next: vertical
+// 2-point and diagonal 4-point averages. Shared like interpEvenRow.
+func interpOddRow(fr, cr, next []float64, nc int) {
+	for cj := 0; cj < nc-1; cj++ {
+		fj := 2 * cj
+		fr[fj] = 0.5 * (cr[cj] + next[cj])
+		fr[fj+1] = 0.25 * (cr[cj] + cr[cj+1] + next[cj] + next[cj+1])
+	}
+	fr[2*(nc-1)] = 0.5 * (cr[nc-1] + next[nc-1])
+}
+
+// InterpRow computes fine row fi (0 ≤ fi ≤ nf−1) of the 2D bilinear
+// interpolation of coarse into dst (length ≥ 2·coarse.N()−1), bit-identical
+// to the row Interpolate would produce before its boundary zeroing. Fused
+// upstroke kernels consume interpolation rows one at a time through this
+// provider instead of materializing the fine interpolant in a scratch grid.
+func InterpRow(dst []float64, coarse *grid.Grid, fi int) {
+	nc := coarse.N()
+	if fi%2 == 0 {
+		interpEvenRow(dst, coarse.Row(fi/2), nc)
+		return
+	}
+	ci := fi / 2
+	interpOddRow(dst, coarse.Row(ci), coarse.Row(ci+1), nc)
+}
+
+// InterpRow3 computes row (fi, fj) of the trilinear interpolation of coarse
+// into dst, bit-identical to interpolate3's output for that row. tmp is
+// caller scratch of dst's length, clobbered on odd planes (odd fine planes
+// average the two surrounding even-plane interpolants, exactly as the tensor
+// product in interpolate3 evaluates them).
+func InterpRow3(dst, tmp []float64, coarse *grid.Grid, fi, fj int) {
+	nc := coarse.N()
+	nf := 2*nc - 1
+	ci, cj := fi/2, fj/2
+	rowInto := func(buf []float64, ci int) {
+		if fj%2 == 0 {
+			interpEvenRow(buf, coarse.Row3(ci, cj), nc)
+			return
+		}
+		interpOddRow(buf, coarse.Row3(ci, cj), coarse.Row3(ci, cj+1), nc)
+	}
+	rowInto(dst, ci)
+	if fi%2 == 0 {
+		return
+	}
+	rowInto(tmp, ci+1)
+	for k := 0; k < nf; k++ {
+		dst[k] = 0.5 * (dst[k] + tmp[k])
+	}
+}
+
 // Interpolate applies bilinear (2D) or trilinear (3D) interpolation of the
 // coarse grid into fine: coincident fine points copy the coarse value and
 // in-between points average their 2, 4, or 8 coarse neighbours. The fine
@@ -301,7 +367,7 @@ func Interpolate(pool *sched.Pool, fine, coarse *grid.Grid) {
 		interpolate3(pool, fine, coarse)
 		return
 	}
-	nc, nf := coarse.N(), fine.N()
+	nc := coarse.N()
 	fine.ZeroBoundary()
 	// Each coarse row ci owns fine rows 2ci and 2ci+1 (the latter only when
 	// a coarse row ci+1 exists), so parallel chunks write disjoint rows.
@@ -309,32 +375,17 @@ func Interpolate(pool *sched.Pool, fine, coarse *grid.Grid) {
 		for ci := lo; ci < hi; ci++ {
 			fi := 2 * ci
 			cr := coarse.Row(ci)
-			fr := fine.Row(fi)
-			// Even fine row: copy / horizontal average.
-			for cj := 0; cj < nc-1; cj++ {
-				fj := 2 * cj
-				fr[fj] = cr[cj]
-				fr[fj+1] = 0.5 * (cr[cj] + cr[cj+1])
-			}
-			fr[nf-1] = cr[nc-1]
+			interpEvenRow(fine.Row(fi), cr, nc)
 			if ci == nc-1 {
 				continue
 			}
-			// Odd fine row: vertical / four-point average.
-			next := coarse.Row(ci + 1)
-			fo := fine.Row(fi + 1)
-			for cj := 0; cj < nc-1; cj++ {
-				fj := 2 * cj
-				fo[fj] = 0.5 * (cr[cj] + next[cj])
-				fo[fj+1] = 0.25 * (cr[cj] + cr[cj+1] + next[cj] + next[cj+1])
-			}
-			fo[nf-1] = 0.5 * (cr[nc-1] + next[nc-1])
+			interpOddRow(fine.Row(fi+1), cr, coarse.Row(ci+1), nc)
 		}
 	}
 	if pool == nil {
 		body(0, nc)
 	} else {
-		pool.ParallelForPoints(0, nc, 2*nf, body)
+		pool.ParallelForPoints(0, nc, 2*fine.N(), body)
 	}
 	fine.ZeroBoundary()
 }
@@ -349,24 +400,10 @@ func interpolate3(pool *sched.Pool, fine, coarse *grid.Grid) {
 	fine.ZeroBoundary()
 	// evenRow writes a fine row above a coarse row (copy / 2-point average);
 	// oddRow writes a fine row between two coarse rows (2- and 4-point
-	// averages). Odd fine planes average the evenRow/oddRow interpolants of
-	// the two surrounding coarse planes.
-	evenRow := func(fr, cr []float64) {
-		for cj := 0; cj < nc-1; cj++ {
-			fj := 2 * cj
-			fr[fj] = cr[cj]
-			fr[fj+1] = 0.5 * (cr[cj] + cr[cj+1])
-		}
-		fr[nf-1] = cr[nc-1]
-	}
-	oddRow := func(fr, cr, next []float64) {
-		for cj := 0; cj < nc-1; cj++ {
-			fj := 2 * cj
-			fr[fj] = 0.5 * (cr[cj] + next[cj])
-			fr[fj+1] = 0.25 * (cr[cj] + cr[cj+1] + next[cj] + next[cj+1])
-		}
-		fr[nf-1] = 0.5 * (cr[nc-1] + next[nc-1])
-	}
+	// averages) — both via the shared 1D helpers. Odd fine planes average the
+	// evenRow/oddRow interpolants of the two surrounding coarse planes.
+	evenRow := func(fr, cr []float64) { interpEvenRow(fr, cr, nc) }
+	oddRow := func(fr, cr, next []float64) { interpOddRow(fr, cr, next, nc) }
 	body := func(lo, hi int) {
 		// Per-chunk scratch rows for the odd-plane averages.
 		row := make([]float64, nf)
@@ -418,6 +455,55 @@ func interpolate3(pool *sched.Pool, fine, coarse *grid.Grid) {
 func InterpolateAdd(pool *sched.Pool, x, coarse, scratch *grid.Grid) {
 	Interpolate(pool, scratch, coarse)
 	x.AddInterior(scratch)
+}
+
+// InterpolateAddFused adds the d-linear interpolation of coarse directly
+// into x's interior without materializing the fine interpolant: each chunk
+// evaluates interpolation rows into a cache-resident buffer (the InterpRow
+// providers) and accumulates them immediately, eliminating InterpolateAdd's
+// scratch-grid write plus AddInterior's re-read — two full fine-grid memory
+// streams. The per-point addend and the addition are the same operations in
+// the same per-point order as InterpolateAdd, so the result is bit-identical
+// for any pool and chunking.
+func InterpolateAddFused(pool *sched.Pool, x, coarse *grid.Grid) {
+	checkLevels(coarse, x, "InterpolateAddFused")
+	nf := x.N()
+	if x.Dim() == 3 {
+		body := func(lo, hi int) {
+			buf := make([]float64, nf)
+			tmp := make([]float64, nf)
+			for fi := lo; fi < hi; fi++ {
+				for fj := 1; fj < nf-1; fj++ {
+					InterpRow3(buf, tmp, coarse, fi, fj)
+					xr := x.Row3(fi, fj)
+					for k := 1; k < nf-1; k++ {
+						xr[k] += buf[k]
+					}
+				}
+			}
+		}
+		if pool == nil {
+			body(1, nf-1)
+		} else {
+			pool.ParallelForPoints(1, nf-1, nf*nf, body)
+		}
+		return
+	}
+	body := func(lo, hi int) {
+		buf := make([]float64, nf)
+		for fi := lo; fi < hi; fi++ {
+			InterpRow(buf, coarse, fi)
+			xr := x.Row(fi)
+			for j := 1; j < nf-1; j++ {
+				xr[j] += buf[j]
+			}
+		}
+	}
+	if pool == nil {
+		body(1, nf-1)
+	} else {
+		pool.ParallelForPoints(1, nf-1, nf, body)
+	}
 }
 
 // RestrictCoef restricts a nodal coefficient field to the next-coarser
