@@ -23,14 +23,15 @@ import (
 
 func main() {
 	exp := flag.String("exp", "all",
-		"experiment: complexity, fig6, fig7 (includes fig8), fig9, fig10, fig11, fig12, fig13, fig14, fig4, fig5, crosstrain, ablation-smoother, ablation-ladder, ablation-pareto, baseline, serve, kernels, or all")
+		"experiment: complexity, fig6, fig7 (includes fig8), fig9, fig10, fig11, fig12, fig13, fig14, fig4, fig5, crosstrain, ablation-smoother, ablation-ladder, ablation-pareto, baseline, serve, kernels, http, or all")
 	level := flag.Int("level", 8, "finest multigrid level (grid side 2^k+1)")
 	workers := flag.Int("workers", runtime.NumCPU(), "worker threads for wall-clock experiments")
 	seed := flag.Int64("seed", 20090101, "training/test seed")
 	family := flag.String("family", "poisson", "operator family for -exp baseline (poisson, aniso, varcoef, poisson3d)")
 	epsilon := flag.Float64("epsilon", 0, "family parameter for -exp baseline (0: family default)")
 	families := flag.String("families", "poisson,aniso,poisson3d", "family[:eps] list served by -exp serve")
-	jsonOut := flag.Bool("json", false, "with -exp baseline, serve, or kernels, also write BENCH_<family>.json / BENCH_serve.json / BENCH_kernels.json for per-PR perf tracking")
+	clients := flag.Int("clients", 1000, "concurrent HTTP connections for -exp http")
+	jsonOut := flag.Bool("json", false, "with -exp baseline, serve, kernels, or http, also write BENCH_<family>.json / BENCH_serve.json / BENCH_kernels.json / BENCH_http.json for per-PR perf tracking")
 	noFuse := flag.Bool("nofuse", false, "with -exp baseline, disable the fused cycle kernels (measures the pre-fusion pass structure)")
 	out := flag.String("out", "", "with -exp baseline -json, write the report to this path instead of BENCH_<family>.json")
 	gate := flag.Bool("gate", false, "with -exp kernels, fail if any fused kernel is >15% slower than its unfused oracle (same-machine fusion regression gate)")
@@ -74,6 +75,13 @@ func main() {
 	}
 	if *exp == "serve" {
 		if err := runServe(*families, *level, *workers, *seed, *jsonOut, logf); err != nil {
+			fmt.Fprintln(os.Stderr, "mgbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *exp == "http" {
+		if err := runHTTP(*clients, *workers, *seed, *jsonOut, logf); err != nil {
 			fmt.Fprintln(os.Stderr, "mgbench:", err)
 			os.Exit(1)
 		}

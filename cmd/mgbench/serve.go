@@ -164,7 +164,7 @@ func runServe(familiesSpec string, level, workers int, seed int64, writeJSON boo
 		n, elapsed.Round(time.Millisecond), rep.SolvesPerSec)
 
 	m := r.Metrics()
-	if m.Aggregate.Completed != int64(n) || m.Aggregate.Rejected != 0 {
+	if m.Aggregate.Completed != int64(n) || m.Aggregate.Failed != 0 || m.Aggregate.Shed != 0 {
 		return fmt.Errorf("serve: registry metrics disagree with workload: %+v for %d solves", m.Aggregate, n)
 	}
 	rep.Steals = r.PoolSteals()

@@ -132,11 +132,12 @@ func serveRegistry(o multiOpts) error {
 	}
 
 	m := r.Metrics()
-	fmt.Printf("metrics: admitted=%d completed=%d rejected=%d inflight=%d unroutable=%d\n",
-		m.Aggregate.Admitted, m.Aggregate.Completed, m.Aggregate.Rejected, m.Aggregate.InFlight, m.Unroutable)
+	fmt.Printf("metrics: admitted=%d completed=%d failed=%d shed=%d inflight=%d unroutable=%d\n",
+		m.Aggregate.Admitted, m.Aggregate.Completed, m.Aggregate.Failed, m.Aggregate.Shed,
+		m.Aggregate.InFlight, m.Unroutable)
 	for _, fm := range m.Families {
-		fmt.Printf("  %s: admitted=%d completed=%d rejected=%d inflight=%d\n",
-			fm.Key, fm.Admitted, fm.Completed, fm.Rejected, fm.InFlight)
+		fmt.Printf("  %s: admitted=%d completed=%d failed=%d shed=%d inflight=%d\n",
+			fm.Key, fm.Admitted, fm.Completed, fm.Failed, fm.Shed, fm.InFlight)
 	}
 
 	// Spot-check each family with a reference solution so the report carries

@@ -237,7 +237,7 @@ func TestSolverSolveBatchCompletedVisible(t *testing.T) {
 		t.Fatal(err)
 	}
 	m := s.DefaultService().Metrics()
-	if m.Completed != before.Completed+16 || m.Rejected != before.Rejected || m.InFlight != 0 {
+	if m.Completed != before.Completed+16 || m.Failed != before.Failed || m.Shed != before.Shed || m.InFlight != 0 {
 		t.Fatalf("metrics after two batches = %+v, want completed %d", m, before.Completed+16)
 	}
 }

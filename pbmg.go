@@ -191,10 +191,12 @@ type Solver struct {
 	ws    *mg.Workspace
 	pool  *sched.Pool
 
-	// defOnce/defSvc back DefaultService, the shared admission front end that
-	// SolveBatch routes through so its completion counts are observable.
-	defOnce sync.Once
-	defSvc  *Service
+	// defMu guards defSvc, the lazily-created default service behind
+	// DefaultService that SolveBatch routes through so its completion counts
+	// are observable. A mutex (not sync.Once) so Registry.Register can
+	// replace the service without racing concurrent DefaultService callers.
+	defMu  sync.Mutex
+	defSvc *Service
 }
 
 // Tune trains a solver for the given options by running the paper's

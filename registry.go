@@ -199,10 +199,10 @@ func (r *Registry) registerLocked(s *Solver) *Service {
 	// The registry service becomes the solver's default service even if a
 	// private one was already created before registration, so
 	// Solver.SolveBatch always honors the global limit and its completions
-	// land in the registry metrics. Safe under Register's no-solves-in-flight
-	// contract, like the pool and cache rewires above.
-	s.defOnce.Do(func() {})
-	s.defSvc = svc
+	// land in the registry metrics. The mutex-guarded setter makes this safe
+	// against concurrent DefaultService readers; only the pool and cache
+	// rewires above need Register's no-solves-in-flight contract.
+	s.setDefaultService(svc)
 	r.services[key] = svc
 	r.order = append(r.order, key)
 	return svc

@@ -106,7 +106,7 @@ func TestRegistryServesTwoFamiliesConcurrently(t *testing.T) {
 	}
 	wantPer := int64(goroutines / 2 * perG)
 	for _, fm := range m.Families {
-		if fm.Completed != wantPer || fm.Admitted != wantPer || fm.Rejected != 0 {
+		if fm.Completed != wantPer || fm.Admitted != wantPer || fm.Failed != 0 || fm.Shed != 0 {
 			t.Errorf("family %s metrics = %+v, want %d admitted+completed", fm.Key, fm.ServiceMetrics, wantPer)
 		}
 		if fm.InFlight != 0 {

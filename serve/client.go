@@ -1,0 +1,154 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+)
+
+// StatusError is a non-2xx answer from the serving front end, carrying
+// the status code (429 queue full, 503 shed/draining, 404 unroutable, 400
+// bad request) and the Retry-After hint when the server sent one.
+type StatusError struct {
+	Code       int
+	Msg        string
+	RetryAfter int // seconds; 0 when absent
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("serve: HTTP %d: %s", e.Code, e.Msg)
+}
+
+// Shed reports whether the request was load-shed (retryable) rather than
+// rejected as invalid.
+func (e *StatusError) Shed() bool {
+	return e.Code == http.StatusTooManyRequests || e.Code == http.StatusServiceUnavailable
+}
+
+// Client talks to a serve.Server. The zero HTTP client is usable; mass
+// load drivers should supply one with MaxIdleConnsPerHost sized to their
+// concurrency.
+type Client struct {
+	BaseURL string
+	HTTP    *http.Client
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// post sends body to path and decodes the 2xx answer into out; non-2xx
+// answers come back as *StatusError.
+func (c *Client) post(ctx context.Context, path string, body []byte, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return statusError(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func statusError(resp *http.Response) error {
+	se := &StatusError{Code: resp.StatusCode}
+	if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil {
+		se.RetryAfter = ra
+	}
+	var body ErrorResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&body); err == nil && body.Error != "" {
+		se.Msg = body.Error
+	} else {
+		se.Msg = resp.Status
+	}
+	return se
+}
+
+// Solve posts one solve request.
+func (c *Client) Solve(ctx context.Context, req SolveRequest) (*SolveResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	return c.SolveBytes(ctx, body)
+}
+
+// SolveBytes posts a pre-marshaled SolveRequest — the load-driver fast
+// path, keeping request encoding off the measured latency.
+func (c *Client) SolveBytes(ctx context.Context, body []byte) (*SolveResponse, error) {
+	var out SolveResponse
+	if err := c.post(ctx, "/v1/solve", body, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Batch posts one batch request.
+func (c *Client) Batch(ctx context.Context, req BatchRequest) (*BatchResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	var out BatchResponse
+	if err := c.post(ctx, "/v1/batch", body, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Metrics fetches the serving counters.
+func (c *Client) Metrics(ctx context.Context) (*Metrics, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return nil, statusError(resp)
+	}
+	var out Metrics
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Reload asks the server to rebuild its catalog from the config dir.
+func (c *Client) Reload(ctx context.Context) (int64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/-/reload", nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return 0, statusError(resp)
+	}
+	var out struct {
+		Version int64 `json:"version"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return 0, err
+	}
+	return out.Version, nil
+}

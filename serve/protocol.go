@@ -1,0 +1,147 @@
+package serve
+
+// Wire types of the HTTP serving protocol. Grids travel as flat JSON
+// arrays in the same row-major (2D) / plane-major (3D) layout as
+// pbmg.Grid.Data, so a client round-trips a grid without reshaping. The
+// same structs serve both directions: the server decodes requests with
+// them and internal/mixload's HTTP client mode encodes them, so the
+// protocol cannot drift between the two.
+
+// SolveRequest is the body of POST /v1/solve: one tuned solve routed by
+// (family, eps) to the serving catalog.
+type SolveRequest struct {
+	// Family names the operator family ("poisson", "aniso", "varcoef",
+	// "poisson3d").
+	Family string `json:"family"`
+	// Eps is the family parameter (ε or σ); 0 selects the family default.
+	// Ignored for the parameterless Laplacians, like the CLI flags.
+	Eps float64 `json:"eps,omitempty"`
+	// N is the grid side (2^k+1, within the family's tuned range). 2D
+	// families expect N² values per grid, 3D families N³.
+	N int `json:"n"`
+	// Accuracy is the requested accuracy level (the paper's 10…10⁹ scale).
+	Accuracy float64 `json:"accuracy"`
+	// B is the right-hand side, flat in grid layout.
+	B []float64 `json:"b"`
+	// X optionally carries the Dirichlet boundary and initial guess; when
+	// absent the solve starts from the zero grid (zero boundary).
+	X []float64 `json:"x,omitempty"`
+	// DeadlineMs bounds the ADMISSION wait server-side: a request still
+	// queued behind its family quota when the deadline expires is shed with
+	// 503 instead of waiting indefinitely. 0 falls back to the server's
+	// MaxWait. An admitted solve always runs to completion.
+	DeadlineMs int64 `json:"deadlineMs,omitempty"`
+}
+
+// SolveResponse is the body of a successful POST /v1/solve.
+type SolveResponse struct {
+	// X is the solution, flat in grid layout.
+	X []float64 `json:"x"`
+	// Family and Eps echo the configuration that served the request (Eps
+	// resolved to the tuned value, so a default-eps request learns what it
+	// got).
+	Family string  `json:"family"`
+	Eps    float64 `json:"eps,omitempty"`
+	N      int     `json:"n"`
+	// SolveNs is the server-side solve duration (admission wait excluded).
+	SolveNs int64 `json:"solveNs"`
+}
+
+// BatchRequest is the body of POST /v1/batch: several problems of one
+// family solved concurrently under the family's quota. The batch holds ONE
+// slot in the family's admission queue; its problems then fan out across
+// the family's quota like Service.SolveBatch fans across the admission
+// limit.
+type BatchRequest struct {
+	Family   string  `json:"family"`
+	Eps      float64 `json:"eps,omitempty"`
+	N        int     `json:"n"`
+	Accuracy float64 `json:"accuracy"`
+	// Problems are the per-problem grids (B required, X optional, as in
+	// SolveRequest).
+	Problems   []BatchProblem `json:"problems"`
+	DeadlineMs int64          `json:"deadlineMs,omitempty"`
+}
+
+// BatchProblem is one problem of a batch request.
+type BatchProblem struct {
+	B []float64 `json:"b"`
+	X []float64 `json:"x,omitempty"`
+}
+
+// BatchResponse is the body of a successful POST /v1/batch. Results is
+// parallel to the request's Problems; a problem that failed carries its
+// error and no X (its siblings still complete, like Solver.SolveBatch).
+type BatchResponse struct {
+	Results []BatchResult `json:"results"`
+	Family  string        `json:"family"`
+	Eps     float64       `json:"eps,omitempty"`
+	N       int           `json:"n"`
+}
+
+// BatchResult is one problem's outcome.
+type BatchResult struct {
+	X     []float64 `json:"x,omitempty"`
+	Error string    `json:"error,omitempty"`
+}
+
+// ErrorResponse is the JSON body of every non-2xx answer.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// FamilyStatus is one served family's block in the /metrics answer: the
+// catalog entry, its quota configuration, the underlying service counters
+// (see pbmg.ServiceMetrics), and the HTTP layer's queue/shed counters.
+type FamilyStatus struct {
+	Family  string  `json:"family"`
+	Eps     float64 `json:"eps,omitempty"`
+	Dim     int     `json:"dim"`
+	MaxSize int     `json:"maxSize"`
+	// Quota is the family's concurrent-solve limit (0: global limit only);
+	// QueueDepth is its bounded admission queue.
+	Quota      int `json:"quota"`
+	QueueDepth int `json:"queueDepth"`
+	// Service counters (pbmg.ServiceMetrics).
+	Admitted  int64 `json:"admitted"`
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	Shed      int64 `json:"shed"`
+	Waiting   int64 `json:"waiting"`
+	InFlight  int64 `json:"inFlight"`
+	// QueueLen is the gauge of requests queued behind the quota right now;
+	// ShedQueueFull and ShedDeadline count 429s (queue full) and 503s
+	// (deadline expired while queued) at the HTTP admission layer.
+	QueueLen      int   `json:"queueLen"`
+	ShedQueueFull int64 `json:"shedQueueFull"`
+	ShedDeadline  int64 `json:"shedDeadline"`
+}
+
+// Metrics is the body of GET /metrics.
+type Metrics struct {
+	// Version counts catalog swaps: 1 after startup, +1 per successful
+	// reload. ConfigDir is the tuned-table directory the catalog came from.
+	Version   int64  `json:"version"`
+	ConfigDir string `json:"configDir"`
+	Draining  bool   `json:"draining"`
+	// GlobalMaxInFlight is the registry-wide admission limit behind the
+	// per-family quotas.
+	GlobalMaxInFlight int            `json:"globalMaxInFlight"`
+	Families          []FamilyStatus `json:"families"`
+	// Aggregate sums the per-family service counters.
+	Aggregate struct {
+		Admitted  int64 `json:"admitted"`
+		Completed int64 `json:"completed"`
+		Failed    int64 `json:"failed"`
+		Shed      int64 `json:"shed"`
+		Waiting   int64 `json:"waiting"`
+		InFlight  int64 `json:"inFlight"`
+	} `json:"aggregate"`
+	// Unroutable counts requests for families the catalog does not serve;
+	// ShedDraining counts requests refused because the server was draining.
+	Unroutable   int64 `json:"unroutable"`
+	ShedDraining int64 `json:"shedDraining"`
+	// ActiveRequests is the gauge of HTTP requests currently inside the
+	// serving handlers (queued or solving).
+	ActiveRequests int64 `json:"activeRequests"`
+}

@@ -1,0 +1,482 @@
+// Package serve is the HTTP front end over a pbmg.Registry: JSON solve
+// and batch endpoints routed by (family, ε, dim), per-family admission
+// quotas with a bounded wait queue and explicit load-shedding (429 +
+// Retry-After when a family's queue is full, so a burst of expensive
+// solves cannot starve the cheap families), request deadlines propagated
+// into admission, atomic hot-reload of the tuned-table directory, and
+// graceful drain — the paper's tune-once/serve-many model (§3.2.1) put on
+// the network.
+//
+// Endpoints:
+//
+//	POST /v1/solve   one solve (SolveRequest → SolveResponse)
+//	POST /v1/batch   one family's batch (BatchRequest → BatchResponse)
+//	GET  /metrics    serving counters (Metrics)
+//	GET  /healthz    200 while serving, 503 while draining
+//	POST /-/reload   rebuild the catalog from the config dir and swap it
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pbmg"
+)
+
+// DefaultMaxWait bounds the admission wait of requests that carry no
+// deadline of their own.
+const DefaultMaxWait = 30 * time.Second
+
+// Config configures New.
+type Config struct {
+	// Dir is the tuned-table directory (one mgtune JSON per family) the
+	// catalog is loaded — and hot-reloaded — from.
+	Dir string
+	// Workers sets the kernel worker pool shared by every family in a
+	// catalog generation (≤ 1: serial).
+	Workers int
+	// MaxInFlight is the registry-wide admission limit (≤ 0: 2×GOMAXPROCS).
+	// With quotas configured, the effective global limit is raised to at
+	// least the quota sum so the per-family gates stay binding.
+	MaxInFlight int
+	// Quotas caps concurrent solves per family, keyed the way the catalog
+	// spells them ("poisson", "aniso:0.01", "poisson3d"). Every named
+	// family must exist in the catalog. Families not named get
+	// DefaultQuota.
+	Quotas map[string]int
+	// DefaultQuota applies to families absent from Quotas (0: no
+	// per-family cap — those families share only the global limit).
+	DefaultQuota int
+	// QueueDepth bounds each family's admission queue; beyond it requests
+	// are shed with 429 (≤ 0: 4× the family's quota).
+	QueueDepth int
+	// MaxWait bounds the admission wait of requests without their own
+	// DeadlineMs (0: DefaultMaxWait).
+	MaxWait time.Duration
+	// Logf, when non-nil, receives serving events (reloads, drain).
+	Logf func(format string, args ...any)
+}
+
+// Server routes HTTP traffic to an atomically swappable catalog of tuned
+// families. Create with New, expose via Handler, stop with
+// BeginDrain/Drain/Close. Safe for concurrent use.
+type Server struct {
+	cfg Config
+	mux *http.ServeMux
+
+	// mu guards cur: requests acquire the current catalog under RLock, so
+	// a reload's pointer swap (under Lock) strictly orders acquisition —
+	// no request can pick up a catalog that has already been retired.
+	mu  sync.RWMutex
+	cur *catalog
+
+	version      atomic.Int64
+	draining     atomic.Bool
+	active       atomic.Int64
+	shedDraining atomic.Int64
+}
+
+// New loads the tuned-table directory and starts serving state (the HTTP
+// listener is the caller's: wire Handler into an http.Server).
+func New(cfg Config) (*Server, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("serve: Config.Dir (tuned-table directory) is required")
+	}
+	if cfg.MaxWait <= 0 {
+		cfg.MaxWait = DefaultMaxWait
+	}
+	c, err := buildCatalog(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{cfg: cfg, cur: c}
+	s.version.Store(1)
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("POST /-/reload", s.handleReload)
+	s.mux = mux
+	s.logf("serving %d families from %s (version 1)", len(c.order), cfg.Dir)
+	return s, nil
+}
+
+// Handler returns the HTTP handler serving every endpoint.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Reload builds a fresh catalog from the config directory and atomically
+// swaps it in. The build is all-or-nothing: on any error the live catalog
+// keeps serving untouched and the error is returned. On success, requests
+// admitted before the swap finish on the old catalog, which is closed in
+// the background once the last of them completes — a table swap under
+// live traffic loses zero in-flight requests.
+func (s *Server) Reload() (int64, error) {
+	next, err := buildCatalog(s.cfg)
+	if err != nil {
+		return s.version.Load(), fmt.Errorf("serve: reload rejected, keeping current catalog: %w", err)
+	}
+	s.mu.Lock()
+	old := s.cur
+	s.cur = next
+	v := s.version.Add(1)
+	s.mu.Unlock()
+	go old.retire()
+	s.logf("reloaded %s: %d families (version %d)", s.cfg.Dir, len(next.order), v)
+	return v, nil
+}
+
+// BeginDrain stops admitting: every subsequent serving request is
+// answered 503 + Retry-After (and counted in ShedDraining) while requests
+// already admitted run to completion. /metrics stays available.
+func (s *Server) BeginDrain() {
+	if !s.draining.Swap(true) {
+		s.logf("draining: shedding new requests, finishing %d in flight", s.active.Load())
+	}
+}
+
+// Drain blocks until every in-flight request has completed (or ctx
+// expires). Call BeginDrain first; the usual SIGTERM sequence is
+// BeginDrain → http.Server.Shutdown → Drain → Close.
+func (s *Server) Drain(ctx context.Context) error {
+	for s.active.Load() != 0 {
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("serve: drain: %d requests still in flight: %w", s.active.Load(), ctx.Err())
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+	return nil
+}
+
+// Close frees the current catalog (worker pool included). Only call once
+// no requests are in flight (after Drain).
+func (s *Server) Close() {
+	s.mu.Lock()
+	c := s.cur
+	s.cur = nil
+	s.mu.Unlock()
+	if c != nil {
+		c.retire()
+	}
+}
+
+// acquireCatalog pins the current catalog generation for one request.
+func (s *Server) acquireCatalog() *catalog {
+	s.mu.RLock()
+	c := s.cur
+	if c != nil {
+		c.acquire()
+	}
+	s.mu.RUnlock()
+	return c
+}
+
+// writeJSON answers with a JSON body.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// writeError maps an error to its HTTP status: queue-full sheds are 429
+// with Retry-After, admission-deadline and drain sheds 503 with
+// Retry-After, routing misses 404, everything else the given fallback.
+func writeError(w http.ResponseWriter, err error, fallback int) {
+	status := fallback
+	switch {
+	case errors.Is(err, errQueueFull):
+		status = http.StatusTooManyRequests
+		w.Header().Set("Retry-After", "1")
+	case errors.Is(err, errAdmissionDeadline), errors.Is(err, pbmg.ErrShed):
+		status = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}
+
+// shedDrainingNow answers a request that arrived while draining.
+func (s *Server) shedDrainingNow(w http.ResponseWriter) {
+	s.shedDraining.Add(1)
+	w.Header().Set("Retry-After", "2")
+	writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: "serve: server is draining"})
+}
+
+// requestContext derives the admission-bounding context: the request's
+// own DeadlineMs when given, the server MaxWait otherwise, composed with
+// the connection context so a gone client frees its queue slot.
+func (s *Server) requestContext(r *http.Request, deadlineMs int64) (context.Context, context.CancelFunc) {
+	wait := s.cfg.MaxWait
+	if deadlineMs > 0 {
+		wait = time.Duration(deadlineMs) * time.Millisecond
+	}
+	return context.WithTimeout(r.Context(), wait)
+}
+
+// route resolves a request's family to its service and admission gate in
+// one catalog generation.
+func (c *catalog) route(familyName string, eps float64) (*pbmg.Service, *gate, error) {
+	f, err := pbmg.ParseFamily(familyName)
+	if err != nil {
+		return nil, nil, err
+	}
+	svc, err := c.reg.Lookup(f, eps)
+	if err != nil {
+		return nil, nil, err
+	}
+	return svc, c.gates[svc.Key()], nil
+}
+
+// buildGrids validates and materializes one problem's grids.
+func buildGrids(svc *pbmg.Service, n int, b, x []float64) (xg, bg *pbmg.Grid, err error) {
+	dim := svc.Solver().Dim()
+	if n < 3 || n > svc.Solver().MaxSize() {
+		return nil, nil, fmt.Errorf("serve: n=%d outside the served range [3, %d] for family %s",
+			n, svc.Solver().MaxSize(), svc.Key())
+	}
+	points := n * n
+	newGrid := pbmg.NewGrid
+	if dim == 3 {
+		points *= n
+		newGrid = pbmg.NewGrid3
+	}
+	if len(b) != points {
+		return nil, nil, fmt.Errorf("serve: b has %d values, family %s at n=%d needs %d", len(b), svc.Key(), n, points)
+	}
+	if len(x) != 0 && len(x) != points {
+		return nil, nil, fmt.Errorf("serve: x has %d values, want %d or none", len(x), points)
+	}
+	bg = newGrid(n)
+	copy(bg.Data(), b)
+	xg = newGrid(n)
+	copy(xg.Data(), x) // no-op when absent: zero boundary, zero guess
+	return xg, bg, nil
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.shedDrainingNow(w)
+		return
+	}
+	s.active.Add(1)
+	defer s.active.Add(-1)
+
+	var req SolveRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "serve: bad request body: " + err.Error()})
+		return
+	}
+	c := s.acquireCatalog()
+	if c == nil {
+		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: "serve: server is closed"})
+		return
+	}
+	defer c.release()
+
+	svc, g, err := c.route(req.Family, req.Eps)
+	if err != nil {
+		writeError(w, err, http.StatusNotFound)
+		return
+	}
+	xg, bg, err := buildGrids(svc, req.N, req.B, req.X)
+	if err != nil {
+		writeError(w, err, http.StatusBadRequest)
+		return
+	}
+
+	ctx, cancel := s.requestContext(r, req.DeadlineMs)
+	defer cancel()
+	release, err := g.admit(ctx)
+	if err != nil {
+		writeError(w, err, http.StatusServiceUnavailable)
+		return
+	}
+	defer release()
+
+	t0 := time.Now()
+	if err := svc.SolveContext(ctx, xg, bg, req.Accuracy); err != nil {
+		writeError(w, err, http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, http.StatusOK, SolveResponse{
+		X:       xg.Data(),
+		Family:  svc.Family().String(),
+		Eps:     epsOf(svc),
+		N:       req.N,
+		SolveNs: time.Since(t0).Nanoseconds(),
+	})
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.shedDrainingNow(w)
+		return
+	}
+	s.active.Add(1)
+	defer s.active.Add(-1)
+
+	var req BatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "serve: bad request body: " + err.Error()})
+		return
+	}
+	if len(req.Problems) == 0 {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "serve: batch names no problems"})
+		return
+	}
+	c := s.acquireCatalog()
+	if c == nil {
+		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: "serve: server is closed"})
+		return
+	}
+	defer c.release()
+
+	svc, g, err := c.route(req.Family, req.Eps)
+	if err != nil {
+		writeError(w, err, http.StatusNotFound)
+		return
+	}
+	// The whole batch holds ONE queue ticket; its problems then share the
+	// family's solve slots, so a big batch cannot monopolize the queue.
+	ticketRelease, err := g.admitTicket()
+	if err != nil {
+		writeError(w, err, http.StatusServiceUnavailable)
+		return
+	}
+	defer ticketRelease()
+
+	ctx, cancel := s.requestContext(r, req.DeadlineMs)
+	defer cancel()
+
+	resp := BatchResponse{
+		Results: make([]BatchResult, len(req.Problems)),
+		Family:  svc.Family().String(),
+		Eps:     epsOf(svc),
+		N:       req.N,
+	}
+	// Fan out with a worker loop bounded by the family quota (or the
+	// problem count), the Service.SolveBatch idiom at the HTTP layer.
+	workers := g.quota
+	if workers <= 0 || workers > len(req.Problems) {
+		workers = min(len(req.Problems), 2*max(1, s.cfg.Workers))
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for range workers {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(req.Problems) {
+					return
+				}
+				p := req.Problems[i]
+				xg, bg, err := buildGrids(svc, req.N, p.B, p.X)
+				if err == nil {
+					var slotRelease func()
+					if slotRelease, err = g.admitSlot(ctx); err == nil {
+						err = svc.SolveContext(ctx, xg, bg, req.Accuracy)
+						slotRelease()
+					}
+				}
+				if err != nil {
+					resp.Results[i] = BatchResult{Error: err.Error()}
+				} else {
+					resp.Results[i] = BatchResult{X: xg.Data()}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	c := s.acquireCatalog()
+	if c == nil {
+		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: "serve: server is closed"})
+		return
+	}
+	defer c.release()
+
+	m := Metrics{
+		Version:           s.version.Load(),
+		ConfigDir:         c.dir,
+		Draining:          s.draining.Load(),
+		GlobalMaxInFlight: c.reg.MaxInFlight(),
+		Unroutable:        c.reg.Metrics().Unroutable,
+		ShedDraining:      s.shedDraining.Load(),
+		ActiveRequests:    s.active.Load(),
+	}
+	for _, key := range c.order {
+		g := c.gates[key]
+		sm := g.svc.Metrics()
+		fs := FamilyStatus{
+			Family:        key.Family.String(),
+			Dim:           key.Dim,
+			MaxSize:       g.svc.Solver().MaxSize(),
+			Quota:         g.quota,
+			QueueDepth:    g.queueDepth,
+			Admitted:      sm.Admitted,
+			Completed:     sm.Completed,
+			Failed:        sm.Failed,
+			Shed:          sm.Shed,
+			Waiting:       sm.Waiting,
+			InFlight:      sm.InFlight,
+			QueueLen:      g.queueLen(),
+			ShedQueueFull: g.shedQueueFull.Load(),
+			ShedDeadline:  g.shedDeadline.Load(),
+		}
+		if pbmg.FamilyHasParam(key.Family) {
+			fs.Eps = key.Epsilon
+		}
+		m.Families = append(m.Families, fs)
+		m.Aggregate.Admitted += sm.Admitted
+		m.Aggregate.Completed += sm.Completed
+		m.Aggregate.Failed += sm.Failed
+		m.Aggregate.Shed += sm.Shed
+		m.Aggregate.Waiting += sm.Waiting
+		m.Aggregate.InFlight += sm.InFlight
+	}
+	writeJSON(w, http.StatusOK, m)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "2")
+		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: "serve: server is draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "version": s.version.Load()})
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	v, err := s.Reload()
+	if err != nil {
+		writeJSON(w, http.StatusConflict, ErrorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "reloaded", "version": v})
+}
+
+// epsOf reports a service's resolved parameter, 0 for parameterless
+// families (so it is omitted on the wire).
+func epsOf(svc *pbmg.Service) float64 {
+	if pbmg.FamilyHasParam(svc.Family()) {
+		return svc.Epsilon()
+	}
+	return 0
+}

@@ -1,6 +1,7 @@
 package pbmg
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -48,19 +49,33 @@ type Service struct {
 
 	admitted  atomic.Int64
 	completed atomic.Int64
-	rejected  atomic.Int64
+	failed    atomic.Int64
+	shed      atomic.Int64
+	waiting   atomic.Int64
 	inFlight  atomic.Int64
 }
 
+// ErrShed marks a request that was turned away at admission — its context
+// was cancelled or its deadline expired before a slot freed — as opposed to
+// a solve that ran and failed. Serving layers match it with errors.Is to
+// answer with a retryable status (429/503) instead of a hard failure.
+var ErrShed = errors.New("pbmg: request shed at admission")
+
 // ServiceMetrics is a point-in-time snapshot of one service's request
 // counters. Admitted counts solves that passed admission (acquired a slot);
-// of those, Completed finished successfully and Rejected returned an error
-// (size or accuracy outside the tuned range). InFlight is the gauge of
-// solves currently running.
+// of those, Completed finished successfully and Failed returned a solve
+// error (size or accuracy outside the tuned range, or an internal failure).
+// Shed counts requests turned away at admission — their context expired
+// before a slot freed — which never run a solve at all; keeping them out of
+// Failed means load-shedding and broken requests stay distinguishable.
+// Waiting is the gauge of requests currently blocked in admission, InFlight
+// the gauge of solves currently running.
 type ServiceMetrics struct {
 	Admitted  int64
 	Completed int64
-	Rejected  int64
+	Failed    int64
+	Shed      int64
+	Waiting   int64
 	InFlight  int64
 }
 
@@ -68,7 +83,9 @@ type ServiceMetrics struct {
 func (sm *ServiceMetrics) Add(m ServiceMetrics) {
 	sm.Admitted += m.Admitted
 	sm.Completed += m.Completed
-	sm.Rejected += m.Rejected
+	sm.Failed += m.Failed
+	sm.Shed += m.Shed
+	sm.Waiting += m.Waiting
 	sm.InFlight += m.InFlight
 }
 
@@ -93,9 +110,24 @@ func newService(s *Solver, sem chan struct{}) *Service {
 // The admission limit is 2×GOMAXPROCS for a standalone solver; registering
 // the solver in a Registry makes the registry service (and its global
 // limit) the default, so batch solves honor the registry-wide bound.
+// Safe to call concurrently with Registry.Register: the default service is
+// metadata, guarded by its own mutex, so Register's no-solves-in-flight
+// contract covers only solves.
 func (s *Solver) DefaultService() *Service {
-	s.defOnce.Do(func() { s.defSvc = s.NewService(0) })
+	s.defMu.Lock()
+	defer s.defMu.Unlock()
+	if s.defSvc == nil {
+		s.defSvc = s.NewService(0)
+	}
 	return s.defSvc
+}
+
+// setDefaultService replaces the solver's default service (Registry wires
+// the registry service in at registration, superseding any private one).
+func (s *Solver) setDefaultService(svc *Service) {
+	s.defMu.Lock()
+	defer s.defMu.Unlock()
+	s.defSvc = svc
 }
 
 // MaxInFlight returns the admission limit (the global limit, for services
@@ -123,7 +155,9 @@ func (sv *Service) Metrics() ServiceMetrics {
 	return ServiceMetrics{
 		Admitted:  sv.admitted.Load(),
 		Completed: sv.completed.Load(),
-		Rejected:  sv.rejected.Load(),
+		Failed:    sv.failed.Load(),
+		Shed:      sv.shed.Load(),
+		Waiting:   sv.waiting.Load(),
 		InFlight:  sv.inFlight.Load(),
 	}
 }
@@ -131,19 +165,29 @@ func (sv *Service) Metrics() ServiceMetrics {
 // Solve admits one tuned FULL-MULTIGRID solve, blocking while MaxInFlight
 // solves are already running. See Solver.Solve.
 func (sv *Service) Solve(x, b *Grid, accuracy float64) error {
-	return sv.admit(func() error { return sv.s.Solve(x, b, accuracy) })
+	return sv.admit(context.Background(), func() error { return sv.s.Solve(x, b, accuracy) })
+}
+
+// SolveContext admits one tuned FULL-MULTIGRID solve with the admission
+// wait bounded by ctx: if the context is cancelled or its deadline expires
+// before a slot frees, the request is shed (an ErrShed error, counted in
+// Shed) instead of waiting indefinitely behind MaxInFlight running solves.
+// A solve that has been admitted runs to completion; the deadline bounds
+// the queueing, not the computation.
+func (sv *Service) SolveContext(ctx context.Context, x, b *Grid, accuracy float64) error {
+	return sv.admit(ctx, func() error { return sv.s.Solve(x, b, accuracy) })
 }
 
 // SolveV admits one tuned MULTIGRID-V solve. See Solver.SolveV.
 func (sv *Service) SolveV(x, b *Grid, accuracy float64) error {
-	return sv.admit(func() error { return sv.s.SolveV(x, b, accuracy) })
+	return sv.admit(context.Background(), func() error { return sv.s.SolveV(x, b, accuracy) })
 }
 
 // SolveAdaptive admits one adaptive solve. See Solver.SolveAdaptive.
 func (sv *Service) SolveAdaptive(x, b *Grid, residualReduction float64) (int, float64, error) {
 	var iters int
 	var reduction float64
-	err := sv.admit(func() error {
+	err := sv.admit(context.Background(), func() error {
 		var err error
 		iters, reduction, err = sv.s.SolveAdaptive(x, b, residualReduction)
 		return err
@@ -151,8 +195,23 @@ func (sv *Service) SolveAdaptive(x, b *Grid, residualReduction float64) (int, fl
 	return iters, reduction, err
 }
 
-func (sv *Service) admit(solve func() error) error {
-	sv.sem <- struct{}{}
+func (sv *Service) admit(ctx context.Context, solve func() error) error {
+	// An already-expired context sheds without racing the semaphore: a
+	// deadline that passed while the request was queued upstream must not
+	// win a slot just because one happens to be free.
+	if err := ctx.Err(); err != nil {
+		sv.shed.Add(1)
+		return fmt.Errorf("%w: %v", ErrShed, err)
+	}
+	sv.waiting.Add(1)
+	select {
+	case sv.sem <- struct{}{}:
+		sv.waiting.Add(-1)
+	case <-ctx.Done():
+		sv.waiting.Add(-1)
+		sv.shed.Add(1)
+		return fmt.Errorf("%w: %v", ErrShed, ctx.Err())
+	}
 	sv.admitted.Add(1)
 	sv.inFlight.Add(1)
 	defer func() {
@@ -163,7 +222,7 @@ func (sv *Service) admit(solve func() error) error {
 	if err == nil {
 		sv.completed.Add(1)
 	} else {
-		sv.rejected.Add(1)
+		sv.failed.Add(1)
 	}
 	return err
 }

@@ -1,0 +1,126 @@
+package pbmg
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestServiceMetricsShedSplit: the serving counters keep load-shedding
+// and solve failures apart — Shed counts requests turned away at
+// admission (never admitted, never run), Failed counts solves that ran
+// and errored — and the Waiting gauge tracks requests blocked in
+// admission.
+func TestServiceMetricsShedSplit(t *testing.T) {
+	s := tuneFamily(t, FamilyPoisson, 0)
+	sv := s.NewService(1)
+	p, err := s.NewFamilyProblem(17, Unbiased, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 1. A successful solve: Admitted + Completed.
+	if err := sv.Solve(p.NewState(), p.B, 1e3); err != nil {
+		t.Fatal(err)
+	}
+
+	// 2. A solve that runs and errors (beyond the tuned size): Failed,
+	// not Shed.
+	if err := sv.Solve(NewGrid(65), NewGrid(65), 1e3); err == nil {
+		t.Fatal("oversize solve succeeded")
+	} else if errors.Is(err, ErrShed) {
+		t.Fatalf("solve failure classified as shed: %v", err)
+	}
+
+	// 3. An already-expired context sheds before touching the semaphore,
+	// even though a slot is free: Shed, not Admitted.
+	expired, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := sv.SolveContext(expired, p.NewState(), p.B, 1e3); !errors.Is(err, ErrShed) {
+		t.Fatalf("expired-context solve: err = %v, want ErrShed", err)
+	}
+
+	// 4. A request queued behind a full admission limit past its deadline:
+	// Shed.
+	sv.sem <- struct{}{} // occupy the only slot
+	ctx, cancel2 := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel2()
+	if err := sv.SolveContext(ctx, p.NewState(), p.B, 1e3); !errors.Is(err, ErrShed) {
+		t.Fatalf("queued-past-deadline solve: err = %v, want ErrShed", err)
+	}
+
+	// 5. The Waiting gauge: a request blocked in admission is visible,
+	// then admitted and completed once the slot frees.
+	done := make(chan error, 1)
+	go func() {
+		done <- sv.SolveContext(context.Background(), p.NewState(), p.B, 1e3)
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for sv.Metrics().Waiting == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("Waiting gauge never rose while a request was queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	<-sv.sem // free the slot
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	m := sv.Metrics()
+	want := ServiceMetrics{Admitted: 3, Completed: 2, Failed: 1, Shed: 2}
+	if m != want {
+		t.Fatalf("metrics = %+v, want %+v", m, want)
+	}
+
+	// Add must fold every field, Shed and Waiting included.
+	var sum ServiceMetrics
+	sum.Add(m)
+	sum.Add(ServiceMetrics{Shed: 1, Waiting: 4, Failed: 2})
+	if sum.Shed != 3 || sum.Waiting != 4 || sum.Failed != 3 || sum.Admitted != 3 {
+		t.Errorf("ServiceMetrics.Add dropped fields: %+v", sum)
+	}
+}
+
+// TestDefaultServiceRegisterRace: Solver.DefaultService used to pair a
+// sync.Once with a direct pointer write from Registry.Register — a data
+// race under concurrent use. Both paths now go through one mutex; this
+// test is the -race regression for it.
+func TestDefaultServiceRegisterRace(t *testing.T) {
+	s, err := Tune(Options{
+		MaxSize: 9, Family: FamilyPoisson,
+		Machine: "intel-harpertown", Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRegistry(RegistryOptions{})
+	t.Cleanup(r.Close)
+
+	var svc *Service
+	var regErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		svc, regErr = r.Register(s)
+	}()
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if s.DefaultService() == nil {
+				t.Error("DefaultService returned nil")
+			}
+		}()
+	}
+	wg.Wait()
+	if regErr != nil {
+		t.Fatal(regErr)
+	}
+	if got := s.DefaultService(); got != svc {
+		t.Fatal("registration did not leave the registry service as the default")
+	}
+}
