@@ -32,6 +32,9 @@ type benchCell struct {
 	// AchievedExp is log10 of the achieved accuracy (99 records the +Inf of
 	// an exact direct solve, mirroring the goldens convention).
 	AchievedExp float64 `json:"achievedExp"`
+	// Precision is the tuned plan's storage precision at this cell ("f64",
+	// "f32", or "mixed").
+	Precision string `json:"precision,omitempty"`
 }
 
 // benchReport is the machine-readable baseline for one family.
@@ -102,7 +105,7 @@ func runBaseline(familyName string, eps float64, maxLevel, workers int, seed int
 	}
 
 	fmt.Printf("baseline %s (dim %d), tuned on %s\n", rep.Family, rep.Dim, rep.Machine)
-	fmt.Printf("%6s %6s %10s %8s %8s %12s %10s\n", "level", "N", "acc", "sweeps", "directs", "wall", "achieved")
+	fmt.Printf("%6s %6s %10s %6s %8s %8s %12s %10s\n", "level", "N", "acc", "prec", "sweeps", "directs", "wall", "achieved")
 	for level := 3; level <= maxLevel; level++ {
 		n := grid.SizeOfLevel(level)
 		p, err := solver.NewFamilyProblem(n, pbmg.Unbiased, seed+int64(level))
@@ -134,6 +137,10 @@ func runBaseline(familyName string, eps float64, maxLevel, workers int, seed int
 					wall = d
 				}
 			}
+			prec, err := solver.PlanPrecision(n, acc)
+			if err != nil {
+				return err
+			}
 			cell := benchCell{
 				Level:       level,
 				N:           n,
@@ -142,10 +149,11 @@ func runBaseline(familyName string, eps float64, maxLevel, workers int, seed int
 				Directs:     tr.Total(mg.EvDirect),
 				WallNS:      wall.Nanoseconds(),
 				AchievedExp: achievedExp,
+				Precision:   prec,
 			}
 			rep.Cells = append(rep.Cells, cell)
-			fmt.Printf("%6d %6d %10.0e %8d %8d %12v %10.3g\n",
-				level, n, acc, cell.Sweeps, cell.Directs, wall, achieved)
+			fmt.Printf("%6d %6d %10.0e %6s %8d %8d %12v %10.3g\n",
+				level, n, acc, prec, cell.Sweeps, cell.Directs, wall, achieved)
 		}
 	}
 

@@ -13,7 +13,7 @@ import (
 // themselves: family baselines (the BENCH_<family>.json format runBaseline
 // writes, matched by (level, acc)) and kernel reports (the
 // BENCH_kernels.json format runKernels writes, matched by
-// (family, n, kernel) on the fused times). Cells present in only one file
+// (family, n, kernel, precision) on the fused times). Cells present in only one file
 // are reported as "new" or "removed" rather than failing the gate — tables
 // legitimately grow and shrink across PRs — but a compare with no cells in
 // common at all is an error, since it gates nothing.
@@ -168,14 +168,30 @@ func compareKernelReports(oldPath, newPath string) error {
 		return err
 	}
 
+	// Cells are keyed by (family, n, kernel, precision): an f32 row of a
+	// kernel is its own cell, compared only against the same precision in
+	// the old report ("" and "f64" are the same precision).
 	type key struct {
 		family string
 		n      int
 		kernel string
+		prec   string
+	}
+	normPrec := func(p string) string {
+		if p == "f64" {
+			return ""
+		}
+		return p
+	}
+	label := func(c kernelCell) string {
+		if p := normPrec(c.Precision); p != "" {
+			return c.Kernel + "/" + p
+		}
+		return c.Kernel
 	}
 	oldCells := make(map[key]kernelCell, len(oldRep.Cells))
 	for _, c := range oldRep.Cells {
-		oldCells[key{c.Family, c.N, c.Kernel}] = c
+		oldCells[key{c.Family, c.N, c.Kernel, normPrec(c.Precision)}] = c
 	}
 
 	fmt.Printf("compare kernels: %s -> %s (gate: ≤%.0f%% slower fused per cell, ≥%v floor)\n",
@@ -185,10 +201,10 @@ func compareKernelReports(oldPath, newPath string) error {
 	matched := 0
 	seen := make(map[key]bool, len(newRep.Cells))
 	for _, nc := range newRep.Cells {
-		k := key{nc.Family, nc.N, nc.Kernel}
+		k := key{nc.Family, nc.N, nc.Kernel, normPrec(nc.Precision)}
 		oc, ok := oldCells[k]
 		if !ok {
-			added = append(added, fmt.Sprintf("%s N=%d %s (%.2fx fused)", nc.Family, nc.N, nc.Kernel, nc.Speedup))
+			added = append(added, fmt.Sprintf("%s N=%d %s (%.2fx fused)", nc.Family, nc.N, label(nc), nc.Speedup))
 			continue
 		}
 		seen[k] = true
@@ -198,14 +214,14 @@ func compareKernelReports(oldPath, newPath string) error {
 		if ratio > 1+compareMaxSlowdown && (oc.FusedNS >= compareFloorNS || nc.FusedNS >= compareFloorNS) {
 			flag = "  REGRESSION"
 			regressions = append(regressions,
-				fmt.Sprintf("%s N=%d %s: %.2fx (%dns -> %dns)", nc.Family, nc.N, nc.Kernel, ratio, oc.FusedNS, nc.FusedNS))
+				fmt.Sprintf("%s N=%d %s: %.2fx (%dns -> %dns)", nc.Family, nc.N, label(nc), ratio, oc.FusedNS, nc.FusedNS))
 		}
 		fmt.Printf("%-10s %6d %-18s %12d %12d %7.2fx%s\n",
-			nc.Family, nc.N, nc.Kernel, oc.FusedNS, nc.FusedNS, ratio, flag)
+			nc.Family, nc.N, label(nc), oc.FusedNS, nc.FusedNS, ratio, flag)
 	}
 	for _, oc := range oldRep.Cells {
-		if !seen[key{oc.Family, oc.N, oc.Kernel}] {
-			removed = append(removed, fmt.Sprintf("%s N=%d %s (%dns fused)", oc.Family, oc.N, oc.Kernel, oc.FusedNS))
+		if !seen[key{oc.Family, oc.N, oc.Kernel, normPrec(oc.Precision)}] {
+			removed = append(removed, fmt.Sprintf("%s N=%d %s (%dns fused)", oc.Family, oc.N, label(oc), oc.FusedNS))
 		}
 	}
 	printOneSided(added, removed)

@@ -37,7 +37,13 @@ type kernelCell struct {
 	// color-split layout where its gate says it wins and falls back to the
 	// strided loop elsewhere), and "residual-norm" (serial vs pool-parallel
 	// ResidualNorm).
-	Kernel    string  `json:"kernel"`
+	Kernel string `json:"kernel"`
+	// Precision is the storage precision of the measured pass: "" / "f64"
+	// is the default float64 row. For "f32" rows the baseline (UnfusedNS)
+	// is the float64 edition of the same fused kernel and FusedNS its
+	// float32 edition, so Speedup is the pure storage-precision win at
+	// equal fusion — the number the mixed-precision plans bank on.
+	Precision string  `json:"precision,omitempty"`
 	UnfusedNS int64   `json:"unfusedNs"`
 	FusedNS   int64   `json:"fusedNs"`
 	Speedup   float64 `json:"speedup"`
@@ -50,6 +56,23 @@ type kernelsReport struct {
 	GoOS    string       `json:"goos"`
 	GoArch  string       `json:"goarch"`
 	Cells   []kernelCell `json:"cells"`
+}
+
+// emitCell appends one measurement to the report and prints its row.
+func emitCell(rep *kernelsReport, famName string, eps float64, dim, n int, kernel, prec string, unfused, fused time.Duration) {
+	cell := kernelCell{
+		Family: famName, Eps: eps, Dim: dim, N: n,
+		Kernel: kernel, Precision: prec,
+		UnfusedNS: unfused.Nanoseconds(), FusedNS: fused.Nanoseconds(),
+		Speedup: float64(unfused.Nanoseconds()) / float64(fused.Nanoseconds()),
+	}
+	rep.Cells = append(rep.Cells, cell)
+	label := kernel
+	if prec != "" {
+		label = kernel + "/" + prec
+	}
+	fmt.Printf("%-10s %6d %-16s %12v %12v %7.2fx\n",
+		famName, n, label, unfused, fused, cell.Speedup)
 }
 
 // benchBest times op over enough repetitions to damp scheduler noise and
@@ -78,25 +101,37 @@ func benchBest(reset, op func()) time.Duration {
 
 // kernelFamilies lists the benchmarked operators with their sizes: every
 // 2D family at the acceptance size N=129 and one size up, and the 3D
-// family at its acceptance size N=33 and one size up.
+// family at its acceptance size N=33 and one size up. precNs lists extra
+// sizes measured ONLY for the precision comparison (f32 vs f64 editions of
+// the fused kernels): the DRAM-resident regime where storage precision
+// governs memory traffic — the regular sizes sit inside a server-class
+// LLC, where f32's halved footprint buys little. The fused-vs-unfused
+// rows are not emitted there: fusion trades passes for working-set width,
+// a trade tuned for the cache-resident solve sizes, and gating it at a
+// size the solver never runs would gate noise.
 func kernelFamilies() []struct {
-	name string
-	mk   func(n int) *stencil.Operator
-	eps  float64
-	ns   []int
-	dim  int
+	name   string
+	mk     func(n int) *stencil.Operator
+	eps    float64
+	ns     []int
+	precNs []int
+	dim    int
 } {
 	return []struct {
-		name string
-		mk   func(n int) *stencil.Operator
-		eps  float64
-		ns   []int
-		dim  int
+		name   string
+		mk     func(n int) *stencil.Operator
+		eps    float64
+		ns     []int
+		precNs []int
+		dim    int
 	}{
-		{"poisson", func(int) *stencil.Operator { return stencil.Poisson() }, 0, []int{129, 257}, 2},
-		{"aniso", func(int) *stencil.Operator { return stencil.Anisotropic(0.01) }, 0.01, []int{129, 257}, 2},
-		{"varcoef", func(n int) *stencil.Operator { return stencil.VarCoefOperator(stencil.CoefField(n, 2), 2) }, 2, []int{129, 257}, 2},
-		{"poisson3d", func(int) *stencil.Operator { return stencil.Poisson3D() }, 0, []int{33, 65}, 3},
+		// One family at one DRAM-resident size (N=2049: 33MB per f64 grid)
+		// is enough to pin the bandwidth-bound behavior; Poisson is the
+		// cheapest.
+		{"poisson", func(int) *stencil.Operator { return stencil.Poisson() }, 0, []int{129, 257}, []int{2049}, 2},
+		{"aniso", func(int) *stencil.Operator { return stencil.Anisotropic(0.01) }, 0.01, []int{129, 257}, nil, 2},
+		{"varcoef", func(n int) *stencil.Operator { return stencil.VarCoefOperator(stencil.CoefField(n, 2), 2) }, 2, []int{129, 257}, nil, 2},
+		{"poisson3d", func(int) *stencil.Operator { return stencil.Poisson3D() }, 0, []int{33, 65}, nil, 3},
 	}
 }
 
@@ -139,15 +174,11 @@ func runKernels(workers int, seed int64, writeJSON, gate bool, logf func(string,
 				logf("kernels: %s N=%d", fam.name, n)
 			}
 
+			emitPrec := func(kernel, prec string, unfused, fused time.Duration) {
+				emitCell(&rep, fam.name, fam.eps, fam.dim, n, kernel, prec, unfused, fused)
+			}
 			emit := func(kernel string, unfused, fused time.Duration) {
-				cell := kernelCell{
-					Family: fam.name, Eps: fam.eps, Dim: fam.dim, N: n, Kernel: kernel,
-					UnfusedNS: unfused.Nanoseconds(), FusedNS: fused.Nanoseconds(),
-					Speedup: float64(unfused.Nanoseconds()) / float64(fused.Nanoseconds()),
-				}
-				rep.Cells = append(rep.Cells, cell)
-				fmt.Printf("%-10s %6d %-16s %12v %12v %7.2fx\n",
-					fam.name, n, kernel, unfused, fused, cell.Speedup)
+				emitPrec(kernel, "", unfused, fused)
 			}
 
 			// The V-cycle downstroke: one smoothing sweep, residual,
@@ -162,6 +193,7 @@ func runKernels(workers int, seed int64, writeJSON, gate bool, logf func(string,
 				op.SmoothResidualRestrict(pool, cb, x, b, r, h, omega)
 			})
 			emit("downstroke", unfused, fused)
+			downstrokeF64 := fused
 
 			// The estimation-phase downstroke (no preceding smooth):
 			// residual + restrict vs the fused ResidualRestrict.
@@ -213,6 +245,7 @@ func runKernels(workers int, seed int64, writeJSON, gate bool, logf func(string,
 				op.FinishSmoothWithNorm(pool, x, b, h, omega)
 			})
 			emit("upstroke", unfused, fused)
+			upstrokeF64 := fused
 
 			// A 12-sweep relaxation run: the strided loop vs SORSweeps, which
 			// repacks into the unit-stride color-split layout where the gate
@@ -228,6 +261,37 @@ func runKernels(workers int, seed int64, writeJSON, gate bool, logf func(string,
 				op.SORSweeps(pool, x, b, h, omega, splitSweeps)
 			})
 			emit("sorx12", unfused, fused)
+			sorF64 := fused
+
+			// The mixed-precision rows: the fused downstroke, upstroke, and
+			// 12-sweep passes rerun with float32 storage against the float64
+			// editions just measured — the storage-precision win the tuned
+			// f32 and mixed plans bank on. In the cache-resident regime the
+			// ratio reads ≈1.0x (scalar f32 arithmetic is no faster than
+			// f64); once the working set spills past the LLC, halved bytes
+			// mean halved traffic.
+			x32 := grid.NewOf[float32](fam.dim, n)
+			b32 := grid.NewOf[float32](fam.dim, n)
+			r32 := grid.NewOf[float32](fam.dim, n)
+			cb32 := grid.NewOf[float32](fam.dim, grid.Coarsen(n))
+			cx32 := grid.NewOf[float32](fam.dim, grid.Coarsen(n))
+			grid.ConvertInto(b32, b)
+			grid.ConvertInto(cx32, cx)
+			h32, omega32 := float32(h), float32(omega)
+			reset32 := func() { grid.ConvertInto(x32, x0) }
+			fused = benchBest(reset32, func() {
+				stencil.OpSmoothResidualRestrict(op, pool, cb32, x32, b32, r32, h32, omega32)
+			})
+			emitPrec("downstroke", "f32", downstrokeF64, fused)
+			fused = benchBest(reset32, func() {
+				stencil.OpInterpolateCorrectSmooth(op, pool, x32, b32, cx32, h32, omega32)
+				stencil.OpFinishSmoothWithNorm(op, pool, x32, b32, h32, omega32)
+			})
+			emitPrec("upstroke", "f32", upstrokeF64, fused)
+			fused = benchBest(reset32, func() {
+				stencil.OpSORSweeps(op, pool, x32, b32, h32, omega32, splitSweeps)
+			})
+			emitPrec("sorx12", "f32", sorF64, fused)
 
 			// The parallel-norm satellite: serial vs pool reduction (equal on
 			// one worker, informative on many).
@@ -238,6 +302,75 @@ func runKernels(workers int, seed int64, writeJSON, gate bool, logf func(string,
 				op.ResidualNorm(pool, x, b, h)
 			})
 			emit("residual-norm", unfused, fused)
+		}
+
+	}
+
+	// The DRAM-resident precision sizes run as a separate pass after every
+	// family's gated rows: only the f32-vs-f64 rows are measured here (see
+	// kernelFamilies), with the f64 fused kernel timed as the baseline of
+	// each row rather than emitted as its own cell. The pass runs last
+	// because its grids (~0.5GB at N=2049) must not share a heap epoch with
+	// the small cache-resident measurements above — the bloated GC goal and
+	// allocation layout they leave behind measurably slow the tiny fused
+	// kernels (reproducibly ~2x on the 3D residual+restrict row).
+	for _, fam := range kernelFamilies() {
+		for _, n := range fam.precNs {
+			op := fam.mk(n)
+			h := 1.0 / float64(n-1)
+			omega := op.OmegaSmooth()
+			rng := rand.New(rand.NewSource(seed + int64(n)))
+			x0 := grid.NewDim(fam.dim, n)
+			b := grid.NewDim(fam.dim, n)
+			grid.FillRandom(x0, grid.Unbiased, rng)
+			grid.FillRandom(b, grid.Unbiased, rng)
+			x := x0.Clone()
+			r := grid.NewDim(fam.dim, n)
+			cb := grid.NewDim(fam.dim, grid.Coarsen(n))
+			cx := grid.NewDim(fam.dim, grid.Coarsen(n))
+			grid.FillRandom(cx, grid.Unbiased, rng)
+			reset := func() { x.CopyFrom(x0) }
+
+			x32 := grid.NewOf[float32](fam.dim, n)
+			b32 := grid.NewOf[float32](fam.dim, n)
+			r32 := grid.NewOf[float32](fam.dim, n)
+			cb32 := grid.NewOf[float32](fam.dim, grid.Coarsen(n))
+			cx32 := grid.NewOf[float32](fam.dim, grid.Coarsen(n))
+			grid.ConvertInto(b32, b)
+			grid.ConvertInto(cx32, cx)
+			h32, omega32 := float32(h), float32(omega)
+			reset32 := func() { grid.ConvertInto(x32, x0) }
+
+			if logf != nil {
+				logf("kernels: %s N=%d (precision)", fam.name, n)
+			}
+
+			f64t := benchBest(reset, func() {
+				op.SmoothResidualRestrict(pool, cb, x, b, r, h, omega)
+			})
+			f32t := benchBest(reset32, func() {
+				stencil.OpSmoothResidualRestrict(op, pool, cb32, x32, b32, r32, h32, omega32)
+			})
+			emitCell(&rep, fam.name, fam.eps, fam.dim, n, "downstroke", "f32", f64t, f32t)
+
+			f64t = benchBest(reset, func() {
+				op.InterpolateCorrectSmooth(pool, x, b, cx, h, omega)
+				op.FinishSmoothWithNorm(pool, x, b, h, omega)
+			})
+			f32t = benchBest(reset32, func() {
+				stencil.OpInterpolateCorrectSmooth(op, pool, x32, b32, cx32, h32, omega32)
+				stencil.OpFinishSmoothWithNorm(op, pool, x32, b32, h32, omega32)
+			})
+			emitCell(&rep, fam.name, fam.eps, fam.dim, n, "upstroke", "f32", f64t, f32t)
+
+			const splitSweeps = 12
+			f64t = benchBest(reset, func() {
+				op.SORSweeps(pool, x, b, h, omega, splitSweeps)
+			})
+			f32t = benchBest(reset32, func() {
+				stencil.OpSORSweeps(op, pool, x32, b32, h32, omega32, splitSweeps)
+			})
+			emitCell(&rep, fam.name, fam.eps, fam.dim, n, "sorx12", "f32", f64t, f32t)
 		}
 	}
 

@@ -35,6 +35,20 @@ func (WallClock) Cost(_ *mg.OpTrace, elapsed time.Duration) float64 {
 	return elapsed.Seconds()
 }
 
+// ForPrecision returns a coster pricing grid traversals at the given
+// storage width in bits (32 or 64): a fresh copy for *Model with WordBytes
+// set — f32 traversals stream half the bytes per point — and c itself for
+// costers that measure (WallClock) rather than model.
+func ForPrecision(c Coster, bits int) Coster {
+	wb := float64(bits) / 8
+	if m, ok := c.(*Model); ok && m.wordBytes() != wb {
+		cp := *m
+		cp.WordBytes = wb
+		return &cp
+	}
+	return c
+}
+
 // ForDim returns a coster pricing problems of the given spatial dimension:
 // a fresh copy for *Model (the receiver is never mutated, so a caller may
 // reuse one Model across tuners of different dimensions), and c itself for
@@ -88,6 +102,21 @@ type Model struct {
 	// ParallelMinPoints is the working-set size below which operations run
 	// serially (task overhead would dominate).
 	ParallelMinPoints int
+	// WordBytes is the storage width in bytes of the grid data being priced:
+	// 8 for the float64 paths (the zero-value default) and 4 for float32
+	// mixed-precision traversals, which stream half the bytes per point and
+	// fit twice the working set in cache. Derive per-precision copies with
+	// ForPrecision. Direct-solve pricing ignores it (the band Cholesky is
+	// always float64).
+	WordBytes float64
+}
+
+// wordBytes resolves the zero-value default storage width.
+func (m *Model) wordBytes() float64 {
+	if m.WordBytes == 0 {
+		return 8
+	}
+	return m.WordBytes
 }
 
 // Name implements Coster.
@@ -152,16 +181,20 @@ func levelSide(level int) int { return (1 << uint(level)) + 1 }
 
 // stencilCost prices one data-parallel stencil pass over the interior of a
 // level-k grid using a roofline max of compute and memory streams.
+// The per-point byte intensities below are counted at float64 width;
+// stencilCost scales them by WordBytes/8, so a float32 model prices every
+// traversal at half the memory traffic and half the cache footprint.
 func (m *Model) stencilCost(level int, flopsPerPoint, bytesPerPoint float64) float64 {
 	n := levelSide(level)
+	wb := m.wordBytes()
 	points := float64(n-2) * float64(n-2)
-	footprint := float64(n) * float64(n) * 8 * 2
+	footprint := float64(n) * float64(n) * wb * 2
 	if m.dim3() {
 		points *= float64(n - 2)
 		footprint *= float64(n)
 	}
 	flopTime := points * flopsPerPoint * m.FlopTime
-	memTime := points * bytesPerPoint * m.MemTime
+	memTime := points * bytesPerPoint * (wb / 8) * m.MemTime
 	if footprint <= m.CacheBytes {
 		memTime *= m.CacheMemFactor
 	}

@@ -322,13 +322,19 @@ func (t *Tuner) timeOneIter(probs []*problem.Problem, step stepFunc) (*mg.OpTrac
 
 // priceIterative converts iteration counts into per-accuracy costs.
 func (t *Tuner) priceIterative(iters []int, tr1 *mg.OpTrace, d1 time.Duration) []float64 {
+	return t.priceIterativeWith(t.cfg.Coster, 0, iters, tr1, d1)
+}
+
+// priceIterativeWith prices under an explicit coster (the precision-adjusted
+// model for f32/mixed candidates) plus a per-iteration additive adjustment.
+func (t *Tuner) priceIterativeWith(coster arch.Coster, adj float64, iters []int, tr1 *mg.OpTrace, d1 time.Duration) []float64 {
 	costs := make([]float64, len(iters))
 	for i, n := range iters {
 		if n <= 0 {
 			costs[i] = math.Inf(1)
 			continue
 		}
-		costs[i] = t.cfg.Coster.Cost(tr1.Scaled(n), time.Duration(n)*d1)
+		costs[i] = coster.Cost(tr1.Scaled(n), time.Duration(n)*d1) + float64(n)*adj
 	}
 	return costs
 }
@@ -395,6 +401,89 @@ func (t *Tuner) measureRecurse(vt *mg.VTable, level, j int, probs []*problem.Pro
 	}
 }
 
+// f32Steps builds the counting and timing stepFuncs for an f32 candidate.
+// Both keep a float32 mirror of the iterate alive across iterations — a
+// deployed PrecF32 cell converts once per cell entry and amortizes it over
+// all its iterations, so per-iteration cost must exclude the conversions.
+// The counting step additionally writes the interior back after every
+// iteration, because accuracy is always judged on the f64 state against the
+// f64 reference solution; the timing step skips that writeback.
+func (t *Tuner) f32Steps(vt *mg.VTable, level int, plan mg.Plan) (count, timing stepFunc) {
+	ex := &mg.Executor{WS: t.ws, V: vt}
+	n := grid.SizeOfLevel(level)
+	dim := t.op.Dim()
+	x32 := grid.NewOf[float32](dim, n)
+	b32 := grid.NewOf[float32](dim, n)
+	var cur *grid.Grid
+	step1 := plan
+	step1.Iters = 1
+	body := func(x, b *grid.Grid, rec mg.Recorder) {
+		if x != cur {
+			cur = x
+			grid.ConvertInto(x32, x)
+			grid.ConvertInto(b32, b)
+		}
+		ex.Rec = rec
+		ex.SolvePlanF32(x32, b32, step1)
+	}
+	count = func(x, b *grid.Grid, rec mg.Recorder) {
+		body(x, b, rec)
+		grid.ConvertInteriorInto(x, x32)
+	}
+	return count, body
+}
+
+// iterCap returns the iteration-count cap for a candidate's choice.
+func (t *Tuner) iterCap(c mg.Choice) int {
+	if c == mg.ChoiceSOR {
+		return t.cfg.MaxSORIters
+	}
+	return t.cfg.MaxRecurseIters
+}
+
+// measureF32 prices the full-f32 edition of an iterative candidate: the
+// same choice with float32 storage, priced under the half-width cost model
+// (or measured wall-clock, which needs no adjustment). The f32 rounding
+// floor makes high-accuracy targets infeasible automatically — the counting
+// loop simply never reaches them.
+func (t *Tuner) measureF32(vt *mg.VTable, level int, base mg.Plan, probs []*problem.Problem) measured {
+	base.Precision = mg.PrecF32
+	countStep, timeStep := t.f32Steps(vt, level, base)
+	iters := t.countIters(probs, countStep, t.iterCap(base.Choice))
+	tr1, d1 := t.timeOneIter(probs, timeStep)
+	return measured{
+		plan:       base,
+		iters:      iters,
+		costPerAcc: t.priceIterativeWith(arch.ForPrecision(t.cfg.Coster, 32), 0, iters, tr1, d1),
+	}
+}
+
+// measureMixed prices the refinement edition of a cycle candidate: each
+// iteration is one f64 defect residual wrapping one f32 step of the choice.
+// Trace-based costers price the whole step at f32 width plus a per-iteration
+// correction for the outer residual, which really runs at f64.
+func (t *Tuner) measureMixed(vt *mg.VTable, level int, base mg.Plan, probs []*problem.Problem) measured {
+	base.Precision = mg.PrecMixed
+	ex := &mg.Executor{WS: t.ws, V: vt}
+	step := func(x, b *grid.Grid, rec mg.Recorder) {
+		ex.Rec = rec
+		ex.RefineStep(x, b, base)
+	}
+	iters := t.countIters(probs, step, t.cfg.MaxRecurseIters)
+	tr1, d1 := t.timeOneIter(probs, step)
+	coster := arch.ForPrecision(t.cfg.Coster, 32)
+	var adj float64
+	if m64, ok := t.cfg.Coster.(*arch.Model); ok {
+		m32 := coster.(*arch.Model)
+		adj = m64.EventCost(mg.EvResidual, level, 1) - m32.EventCost(mg.EvResidual, level, 1)
+	}
+	return measured{
+		plan:       base,
+		iters:      iters,
+		costPerAcc: t.priceIterativeWith(coster, adj, iters, tr1, d1),
+	}
+}
+
 // TuneV runs the dynamic program for the MULTIGRID-V family and returns the
 // tuned table.
 func (t *Tuner) TuneV() (*mg.VTable, error) {
@@ -423,6 +512,17 @@ func (t *Tuner) tuneVLevel(vt *mg.VTable, level int) []mg.Plan {
 	cands = append(cands, t.measureVChain(level, probs))
 	for j := 0; j < m; j++ {
 		cands = append(cands, t.measureRecurse(vt, level, j, probs))
+	}
+	// Precision editions (ROADMAP item 2): the same iterative choices with
+	// float32 storage, and f64-refinement-wrapped editions of the cycle
+	// choices. Direct stays f64-only — the factorization is compute-bound
+	// and exact.
+	cands = append(cands, t.measureF32(vt, level, mg.Plan{Choice: mg.ChoiceSOR}, probs))
+	cands = append(cands, t.measureF32(vt, level, mg.Plan{Choice: mg.ChoiceVCycle}, probs))
+	cands = append(cands, t.measureMixed(vt, level, mg.Plan{Choice: mg.ChoiceVCycle}, probs))
+	for j := 0; j < m; j++ {
+		cands = append(cands, t.measureF32(vt, level, mg.Plan{Choice: mg.ChoiceRecurse, Sub: j}, probs))
+		cands = append(cands, t.measureMixed(vt, level, mg.Plan{Choice: mg.ChoiceRecurse, Sub: j}, probs))
 	}
 
 	front := t.front[level]
@@ -479,6 +579,12 @@ func describeRow(row []mg.Plan) string {
 			s += fmt.Sprintf("rec%d×%d", p.Sub+1, p.Iters)
 		case mg.ChoiceVCycle:
 			s += fmt.Sprintf("vchain×%d", p.Iters)
+		}
+		switch p.Precision {
+		case mg.PrecF32:
+			s += "/f32"
+		case mg.PrecMixed:
+			s += "/mix"
 		}
 	}
 	return s

@@ -2,10 +2,14 @@
 // multigrid solver, together with norms and the random training-data
 // distributions from the paper's evaluation (§4).
 //
-// A Grid is either a 2D N×N square or a 3D N×N×N cube of float64 values,
-// tagged by Dim and stored in a single flat slice (row-major in 2D;
-// plane-major, then row-major in 3D) so that relaxation and transfer kernels
-// stream through memory. Multigrid levels use sizes N = 2^k + 1;
+// A grid is either a 2D N×N square or a 3D N×N×N cube of values, tagged by
+// Dim and stored in a single flat slice (row-major in 2D; plane-major, then
+// row-major in 3D) so that relaxation and transfer kernels stream through
+// memory. The container is generic over the storage precision: G[float64]
+// (aliased Grid) is the default working type, and G[float32] (aliased
+// Grid32) backs the mixed-precision cycle paths, where halving the bytes per
+// point roughly doubles the effective memory bandwidth of the
+// bandwidth-bound kernels. Multigrid levels use sizes N = 2^k + 1;
 // Level/SizeOfLevel convert between the two conventions and are
 // dimension-independent (only the side length recurses).
 //
@@ -16,43 +20,54 @@ package grid
 
 import "fmt"
 
-// Grid is a square N×N (Dim 2) or cubic N×N×N (Dim 3) grid of float64
-// values stored in one flat slice. The zero value is not usable; construct
-// grids with New or New3.
-type Grid struct {
+// Float constrains the storage precisions a grid can carry.
+type Float interface {
+	~float32 | ~float64
+}
+
+// G is a square N×N (Dim 2) or cubic N×N×N (Dim 3) grid of T values stored
+// in one flat slice. The zero value is not usable; construct grids with New,
+// New3, NewDim, or the precision-generic NewOf.
+type G[T Float] struct {
 	n    int
 	dim  int // 2 or 3
-	data []float64
+	data []T
 }
 
-// New returns a zero-filled 2D n×n grid. It panics if n < 1.
-func New(n int) *Grid {
+// Grid is the default float64-backed grid, the working type of every f64
+// solver path.
+type Grid = G[float64]
+
+// Grid32 is the float32-backed grid used by the mixed-precision cycle
+// paths.
+type Grid32 = G[float32]
+
+// NewOf returns a zero-filled grid of the given dimension (2 or 3), side n,
+// and storage precision T.
+func NewOf[T Float](dim, n int) *G[T] {
 	if n < 1 {
 		panic(fmt.Sprintf("grid: invalid size %d", n))
 	}
-	return &Grid{n: n, dim: 2, data: make([]float64, n*n)}
-}
-
-// New3 returns a zero-filled 3D n×n×n grid. It panics if n < 1.
-func New3(n int) *Grid {
-	if n < 1 {
-		panic(fmt.Sprintf("grid: invalid size %d", n))
-	}
-	return &Grid{n: n, dim: 3, data: make([]float64, n*n*n)}
-}
-
-// NewDim returns a zero-filled grid of the given dimension (2 or 3) and
-// side n, the constructor used by dimension-generic layers.
-func NewDim(dim, n int) *Grid {
+	points := n * n
 	switch dim {
 	case 2:
-		return New(n)
 	case 3:
-		return New3(n)
+		points *= n
 	default:
 		panic(fmt.Sprintf("grid: invalid dimension %d (want 2 or 3)", dim))
 	}
+	return &G[T]{n: n, dim: dim, data: make([]T, points)}
 }
+
+// New returns a zero-filled 2D n×n float64 grid. It panics if n < 1.
+func New(n int) *Grid { return NewOf[float64](2, n) }
+
+// New3 returns a zero-filled 3D n×n×n float64 grid. It panics if n < 1.
+func New3(n int) *Grid { return NewOf[float64](3, n) }
+
+// NewDim returns a zero-filled float64 grid of the given dimension (2 or 3)
+// and side n, the constructor used by dimension-generic layers.
+func NewDim(dim, n int) *Grid { return NewOf[float64](dim, n) }
 
 // FromSlice wraps an existing row-major slice of length n*n as a 2D Grid.
 // The grid aliases data; mutations are visible both ways.
@@ -63,82 +78,160 @@ func FromSlice(n int, data []float64) *Grid {
 	return &Grid{n: n, dim: 2, data: data}
 }
 
+// ConvertInto overwrites dst with src converted element-wise between
+// precisions. Sizes and dimensions must match. Converting float64 → float32
+// rounds to nearest; float32 → float64 is exact.
+func ConvertInto[D, S Float](dst *G[D], src *G[S]) {
+	if dst.n != src.n || dst.dim != src.dim {
+		panic(fmt.Sprintf("grid: ConvertInto mismatch %dD/%d != %dD/%d", dst.dim, dst.n, src.dim, src.n))
+	}
+	dd, sd := dst.data, src.data
+	for i, v := range sd {
+		dd[i] = D(v)
+	}
+}
+
+// ConvertInteriorInto overwrites dst's interior with src's interior cast to
+// dst's precision, leaving dst's boundary untouched — the writeback of a
+// reduced-precision sub-solve, which must not round the caller's Dirichlet
+// data.
+func ConvertInteriorInto[D, S Float](dst *G[D], src *G[S]) {
+	if dst.n != src.n || dst.dim != src.dim {
+		panic(fmt.Sprintf("grid: ConvertInteriorInto mismatch %dD/%d != %dD/%d", dst.dim, dst.n, src.dim, src.n))
+	}
+	n := dst.n
+	if dst.dim == 3 {
+		for i := 1; i < n-1; i++ {
+			for j := 1; j < n-1; j++ {
+				dr, sr := dst.Row3(i, j), src.Row3(i, j)
+				for k := 1; k < n-1; k++ {
+					dr[k] = D(sr[k])
+				}
+			}
+		}
+		return
+	}
+	for i := 1; i < n-1; i++ {
+		dr, sr := dst.Row(i), src.Row(i)
+		for j := 1; j < n-1; j++ {
+			dr[j] = D(sr[j])
+		}
+	}
+}
+
+// AddInteriorOf adds src's interior entries, cast to dst's precision, into
+// dst's interior — the correction step of float64 iterative refinement over
+// a float32 error estimate.
+func AddInteriorOf[D, S Float](dst *G[D], src *G[S]) {
+	if dst.n != src.n || dst.dim != src.dim {
+		panic(fmt.Sprintf("grid: AddInteriorOf mismatch %dD/%d != %dD/%d", dst.dim, dst.n, src.dim, src.n))
+	}
+	n := dst.n
+	if dst.dim == 3 {
+		for i := 1; i < n-1; i++ {
+			for j := 1; j < n-1; j++ {
+				dr, sr := dst.Row3(i, j), src.Row3(i, j)
+				for k := 1; k < n-1; k++ {
+					dr[k] += D(sr[k])
+				}
+			}
+		}
+		return
+	}
+	for i := 1; i < n-1; i++ {
+		dr, sr := dst.Row(i), src.Row(i)
+		for j := 1; j < n-1; j++ {
+			dr[j] += D(sr[j])
+		}
+	}
+}
+
+// Bits reports the storage width of T in bits (32 or 64), the precision tag
+// used in scratch-pool keys and benchmark cell labels.
+func Bits[T Float]() int {
+	var z T
+	if _, is32 := any(z).(float32); is32 {
+		return 32
+	}
+	return 64
+}
+
 // N returns the number of points per side.
-func (g *Grid) N() int { return g.n }
+func (g *G[T]) N() int { return g.n }
 
 // Dim returns the grid's spatial dimension (2 or 3).
-func (g *Grid) Dim() int { return g.dim }
+func (g *G[T]) Dim() int { return g.dim }
 
 // Points returns the total number of grid points (N² or N³).
-func (g *Grid) Points() int { return len(g.data) }
+func (g *G[T]) Points() int { return len(g.data) }
 
 // Data returns the backing flat slice. The slice aliases the grid.
-func (g *Grid) Data() []float64 { return g.data }
+func (g *G[T]) Data() []T { return g.data }
 
 // mustDim panics unless the grid has the expected dimension — the explicit
 // guard that turns a mixed-dimension bug into an error instead of silent
 // index corruption.
-func (g *Grid) mustDim(want int, what string) {
+func (g *G[T]) mustDim(want int, what string) {
 	if g.dim != want {
 		panic(fmt.Sprintf("grid: %s needs a %dD grid, got %dD (N=%d)", what, want, g.dim, g.n))
 	}
 }
 
 // At returns the value at row i, column j (2D only).
-func (g *Grid) At(i, j int) float64 {
+func (g *G[T]) At(i, j int) T {
 	g.mustDim(2, "At")
 	return g.data[i*g.n+j]
 }
 
 // Set stores v at row i, column j (2D only).
-func (g *Grid) Set(i, j int, v float64) {
+func (g *G[T]) Set(i, j int, v T) {
 	g.mustDim(2, "Set")
 	g.data[i*g.n+j] = v
 }
 
 // At3 returns the value at plane i, row j, column k (3D only).
-func (g *Grid) At3(i, j, k int) float64 {
+func (g *G[T]) At3(i, j, k int) T {
 	g.mustDim(3, "At3")
 	return g.data[(i*g.n+j)*g.n+k]
 }
 
 // Set3 stores v at plane i, row j, column k (3D only).
-func (g *Grid) Set3(i, j, k int, v float64) {
+func (g *G[T]) Set3(i, j, k int, v T) {
 	g.mustDim(3, "Set3")
 	g.data[(i*g.n+j)*g.n+k] = v
 }
 
 // Row returns the i-th row as a sub-slice aliasing the grid (2D only).
-func (g *Grid) Row(i int) []float64 {
+func (g *G[T]) Row(i int) []T {
 	g.mustDim(2, "Row")
 	return g.data[i*g.n : (i+1)*g.n]
 }
 
 // Plane returns the i-th n×n plane as a sub-slice aliasing the grid
 // (3D only).
-func (g *Grid) Plane(i int) []float64 {
+func (g *G[T]) Plane(i int) []T {
 	g.mustDim(3, "Plane")
 	n2 := g.n * g.n
 	return g.data[i*n2 : (i+1)*n2]
 }
 
 // Row3 returns row (i, j) of a 3D grid as a sub-slice aliasing the grid.
-func (g *Grid) Row3(i, j int) []float64 {
+func (g *G[T]) Row3(i, j int) []T {
 	g.mustDim(3, "Row3")
 	base := (i*g.n + j) * g.n
 	return g.data[base : base+g.n]
 }
 
 // Clone returns a deep copy of g.
-func (g *Grid) Clone() *Grid {
-	c := NewDim(g.dim, g.n)
+func (g *G[T]) Clone() *G[T] {
+	c := NewOf[T](g.dim, g.n)
 	copy(c.data, g.data)
 	return c
 }
 
 // CopyFrom overwrites g with the contents of src. Sizes and dimensions must
 // match.
-func (g *Grid) CopyFrom(src *Grid) {
+func (g *G[T]) CopyFrom(src *G[T]) {
 	if g.n != src.n || g.dim != src.dim {
 		panic(fmt.Sprintf("grid: CopyFrom mismatch %dD/%d != %dD/%d", g.dim, g.n, src.dim, src.n))
 	}
@@ -146,17 +239,17 @@ func (g *Grid) CopyFrom(src *Grid) {
 }
 
 // Fill sets every entry of g to v.
-func (g *Grid) Fill(v float64) {
+func (g *G[T]) Fill(v T) {
 	for i := range g.data {
 		g.data[i] = v
 	}
 }
 
 // Zero sets every entry of g to zero.
-func (g *Grid) Zero() { g.Fill(0) }
+func (g *G[T]) Zero() { g.Fill(0) }
 
 // ZeroInterior zeroes all non-boundary entries, leaving the border intact.
-func (g *Grid) ZeroInterior() {
+func (g *G[T]) ZeroInterior() {
 	n := g.n
 	if g.dim == 3 {
 		for i := 1; i < n-1; i++ {
@@ -178,7 +271,7 @@ func (g *Grid) ZeroInterior() {
 }
 
 // zeroBoundary2 zeroes the border of one n×n plane stored at p.
-func zeroBoundary2(p []float64, n int) {
+func zeroBoundary2[T Float](p []T, n int) {
 	for j := 0; j < n; j++ {
 		p[j], p[(n-1)*n+j] = 0, 0
 	}
@@ -190,7 +283,7 @@ func zeroBoundary2(p []float64, n int) {
 
 // ZeroBoundary zeroes the border entries (the 2D frame or the six 3D
 // faces), leaving the interior intact.
-func (g *Grid) ZeroBoundary() {
+func (g *G[T]) ZeroBoundary() {
 	n := g.n
 	if g.dim == 3 {
 		first, last := g.Plane(0), g.Plane(n-1)
@@ -206,7 +299,7 @@ func (g *Grid) ZeroBoundary() {
 }
 
 // copyBoundary2 copies the border of one n×n plane from src into dst.
-func copyBoundary2(dst, src []float64, n int) {
+func copyBoundary2[T Float](dst, src []T, n int) {
 	copy(dst[:n], src[:n])
 	copy(dst[(n-1)*n:], src[(n-1)*n:])
 	for i := 1; i < n-1; i++ {
@@ -216,7 +309,7 @@ func copyBoundary2(dst, src []float64, n int) {
 }
 
 // CopyBoundaryFrom copies only the border entries of src into g.
-func (g *Grid) CopyBoundaryFrom(src *Grid) {
+func (g *G[T]) CopyBoundaryFrom(src *G[T]) {
 	if g.n != src.n || g.dim != src.dim {
 		panic("grid: CopyBoundaryFrom size mismatch")
 	}
@@ -234,7 +327,7 @@ func (g *Grid) CopyBoundaryFrom(src *Grid) {
 
 // AddInterior adds src's interior entries into g's interior, leaving
 // boundaries untouched. Used for coarse-grid correction.
-func (g *Grid) AddInterior(src *Grid) {
+func (g *G[T]) AddInterior(src *G[T]) {
 	if g.n != src.n || g.dim != src.dim {
 		panic("grid: AddInterior size mismatch")
 	}
@@ -259,7 +352,7 @@ func (g *Grid) AddInterior(src *Grid) {
 }
 
 // Scale multiplies every entry by s.
-func (g *Grid) Scale(s float64) {
+func (g *G[T]) Scale(s T) {
 	for i := range g.data {
 		g.data[i] *= s
 	}

@@ -5,12 +5,14 @@ import "math"
 // The norms branch explicitly on dimension (like ZeroInterior/AddInterior)
 // rather than folding through a per-point closure: they sit on the tuner's
 // measurement path, where an interior scan is millions of points and an
-// indirect call per point would dominate.
+// indirect call per point would dominate. All norms accumulate in float64
+// regardless of the grid's storage precision, so convergence accounting on
+// the float32 paths is as trustworthy as on the float64 ones.
 
 // L2Interior returns the L2 norm of g over interior points only.
 // Boundary entries are excluded because Dirichlet boundaries are fixed and
 // carry no error.
-func L2Interior(g *Grid) float64 {
+func L2Interior[T Float](g *G[T]) float64 {
 	n := g.n
 	var sum float64
 	if g.dim == 3 {
@@ -18,7 +20,7 @@ func L2Interior(g *Grid) float64 {
 			for j := 1; j < n-1; j++ {
 				row := g.Row3(i, j)
 				for k := 1; k < n-1; k++ {
-					v := row[k]
+					v := float64(row[k])
 					sum += v * v
 				}
 			}
@@ -28,7 +30,7 @@ func L2Interior(g *Grid) float64 {
 	for i := 1; i < n-1; i++ {
 		row := g.Row(i)
 		for j := 1; j < n-1; j++ {
-			v := row[j]
+			v := float64(row[j])
 			sum += v * v
 		}
 	}
@@ -36,7 +38,7 @@ func L2Interior(g *Grid) float64 {
 }
 
 // L2DiffInterior returns the L2 norm of (a − b) over interior points.
-func L2DiffInterior(a, b *Grid) float64 {
+func L2DiffInterior[T Float](a, b *G[T]) float64 {
 	if a.n != b.n || a.dim != b.dim {
 		panic("grid: L2DiffInterior size mismatch")
 	}
@@ -47,7 +49,7 @@ func L2DiffInterior(a, b *Grid) float64 {
 			for j := 1; j < n-1; j++ {
 				ar, br := a.Row3(i, j), b.Row3(i, j)
 				for k := 1; k < n-1; k++ {
-					d := ar[k] - br[k]
+					d := float64(ar[k]) - float64(br[k])
 					sum += d * d
 				}
 			}
@@ -57,7 +59,7 @@ func L2DiffInterior(a, b *Grid) float64 {
 	for i := 1; i < n-1; i++ {
 		ar, br := a.Row(i), b.Row(i)
 		for j := 1; j < n-1; j++ {
-			d := ar[j] - br[j]
+			d := float64(ar[j]) - float64(br[j])
 			sum += d * d
 		}
 	}
@@ -65,7 +67,7 @@ func L2DiffInterior(a, b *Grid) float64 {
 }
 
 // MaxAbsInterior returns the max-norm of g over interior points.
-func MaxAbsInterior(g *Grid) float64 {
+func MaxAbsInterior[T Float](g *G[T]) float64 {
 	n := g.n
 	var m float64
 	if g.dim == 3 {
@@ -73,7 +75,7 @@ func MaxAbsInterior(g *Grid) float64 {
 			for j := 1; j < n-1; j++ {
 				row := g.Row3(i, j)
 				for k := 1; k < n-1; k++ {
-					if v := math.Abs(row[k]); v > m {
+					if v := math.Abs(float64(row[k])); v > m {
 						m = v
 					}
 				}
@@ -84,7 +86,7 @@ func MaxAbsInterior(g *Grid) float64 {
 	for i := 1; i < n-1; i++ {
 		row := g.Row(i)
 		for j := 1; j < n-1; j++ {
-			if v := math.Abs(row[j]); v > m {
+			if v := math.Abs(float64(row[j])); v > m {
 				m = v
 			}
 		}

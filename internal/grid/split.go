@@ -17,57 +17,69 @@
 // neighbour offsets in the sweep kernels constant per row.
 package grid
 
-// Split holds one grid's values in color-split layout: red points first,
-// then black, each as n (2D) or n² (3D) half-rows of w float64s.
-type Split struct {
+// SplitG holds one grid's values in color-split layout: red points first,
+// then black, each as n (2D) or n² (3D) half-rows of w values of the grid's
+// storage precision.
+type SplitG[T Float] struct {
 	n, dim, w int
-	red       []float64
-	black     []float64
+	red       []T
+	black     []T
 }
 
-// NewSplit returns a zeroed color-split buffer for a dim-dimensional grid of
-// side n.
-func NewSplit(dim, n int) *Split {
+// Split is the float64 color-split buffer.
+type Split = SplitG[float64]
+
+// Split32 is the float32 color-split buffer used by the mixed-precision
+// sweep paths.
+type Split32 = SplitG[float32]
+
+// NewSplitOf returns a zeroed color-split buffer of precision T for a
+// dim-dimensional grid of side n.
+func NewSplitOf[T Float](dim, n int) *SplitG[T] {
 	w := (n + 1) / 2
 	rows := n
 	if dim == 3 {
 		rows = n * n
 	}
-	return &Split{n: n, dim: dim, w: w,
-		red:   make([]float64, rows*w),
-		black: make([]float64, rows*w),
+	return &SplitG[T]{n: n, dim: dim, w: w,
+		red:   make([]T, rows*w),
+		black: make([]T, rows*w),
 	}
 }
 
+// NewSplit returns a zeroed float64 color-split buffer for a dim-dimensional
+// grid of side n.
+func NewSplit(dim, n int) *Split { return NewSplitOf[float64](dim, n) }
+
 // N returns the grid side length.
-func (s *Split) N() int { return s.n }
+func (s *SplitG[T]) N() int { return s.n }
 
 // Dim returns the dimensionality (2 or 3).
-func (s *Split) Dim() int { return s.dim }
+func (s *SplitG[T]) Dim() int { return s.dim }
 
 // W returns the half-row width (n+1)/2.
-func (s *Split) W() int { return s.w }
+func (s *SplitG[T]) W() int { return s.w }
 
 // Red returns row i's red half-row (2D).
-func (s *Split) Red(i int) []float64 { return s.red[i*s.w : (i+1)*s.w] }
+func (s *SplitG[T]) Red(i int) []T { return s.red[i*s.w : (i+1)*s.w] }
 
 // Black returns row i's black half-row (2D).
-func (s *Split) Black(i int) []float64 { return s.black[i*s.w : (i+1)*s.w] }
+func (s *SplitG[T]) Black(i int) []T { return s.black[i*s.w : (i+1)*s.w] }
 
 // Red3 returns pencil (i,j)'s red half-row (3D).
-func (s *Split) Red3(i, j int) []float64 {
+func (s *SplitG[T]) Red3(i, j int) []T {
 	base := (i*s.n + j) * s.w
 	return s.red[base : base+s.w]
 }
 
 // Black3 returns pencil (i,j)'s black half-row (3D).
-func (s *Split) Black3(i, j int) []float64 {
+func (s *SplitG[T]) Black3(i, j int) []T {
 	base := (i*s.n + j) * s.w
 	return s.black[base : base+s.w]
 }
 
 // Pack copies g into the split layout. g must match the split's dim and n.
-func (s *Split) Pack(g *Grid) {
+func (s *SplitG[T]) Pack(g *G[T]) {
 	if g.N() != s.n || g.Dim() != s.dim {
 		panic("grid: Split.Pack shape mismatch")
 	}
@@ -85,7 +97,7 @@ func (s *Split) Pack(g *Grid) {
 }
 
 // Unpack copies the split values back into g.
-func (s *Split) Unpack(g *Grid) {
+func (s *SplitG[T]) Unpack(g *G[T]) {
 	if g.N() != s.n || g.Dim() != s.dim {
 		panic("grid: Split.Unpack shape mismatch")
 	}
@@ -104,7 +116,7 @@ func (s *Split) Unpack(g *Grid) {
 
 // packRow splits one strided row into its red and black halves; s is the
 // column parity of the row's first red point.
-func packRow(red, black, row []float64, s int) {
+func packRow[T Float](red, black, row []T, s int) {
 	n := len(row)
 	for j := s; j < n; j += 2 {
 		red[j>>1] = row[j]
@@ -115,7 +127,7 @@ func packRow(red, black, row []float64, s int) {
 }
 
 // unpackRow merges red and black halves back into a strided row.
-func unpackRow(red, black, row []float64, s int) {
+func unpackRow[T Float](red, black, row []T, s int) {
 	n := len(row)
 	for j := s; j < n; j += 2 {
 		row[j] = red[j>>1]

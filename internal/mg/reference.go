@@ -14,13 +14,19 @@ import (
 // sweep, coarse-grid correction by recursion down to the N=3 direct base
 // case, and one post-smoothing sweep — exactly MULTIGRID-V-SIMPLE.
 func (ws *Workspace) RefVCycle(x, b *grid.Grid, rec Recorder) {
+	refVCycleOf(ws, x, b, rec)
+}
+
+// refVCycleOf is RefVCycle at any storage precision, the cycle the
+// mixed-precision plans run under f32 state.
+func refVCycleOf[T grid.Float](ws *Workspace, x, b *grid.G[T], rec Recorder) {
 	if x.N() == 3 {
-		ws.SolveDirect(x, b, rec)
+		solveDirectOf(ws, x, b, rec)
 		return
 	}
-	ws.RecurseWith(x, b, rec, func(cx, cb *grid.Grid) {
-		ws.RefVCycle(cx, cb, rec)
-	})
+	recurseWithOf(ws, x, b, rec, func(cx, cb *grid.G[T]) {
+		refVCycleOf(ws, cx, cb, rec)
+	}, nil)
 }
 
 // RefWCycle performs one standard W-cycle on x in place: like the V-cycle

@@ -40,17 +40,64 @@ func (c Choice) String() string {
 	}
 }
 
+// Precision is a tuned plan's storage-precision directive — the knob ISSUE
+// the mixed-precision work adds alongside sweeps and ω. The empty string is
+// the float64 default, so tables tuned before the knob existed load
+// unchanged.
+type Precision string
+
+const (
+	// PrecF64 (the zero value) runs the cell entirely in float64.
+	PrecF64 Precision = ""
+	// PrecF32 converts the cell's state to float32 on entry, runs the whole
+	// sub-solve (smoothing, residuals, transfers, coarse recursion) in f32
+	// storage, and rounds the interior back on exit. Convergence accounting
+	// stays float64. Nested cells' precision directives are ignored once the
+	// solve is in f32 — a subtree runs at the precision it entered with.
+	PrecF32 Precision = "f32"
+	// PrecMixed wraps the f32 cycle in float64 iterative refinement: each of
+	// the plan's Iters iterations computes the f64 defect r = b − T·x, runs
+	// one f32 step of the plan's choice on the error equation T·e = r from a
+	// zero guess, and applies the correction x += e in f64 — the f32 cycle
+	// as a preconditioner, with accuracy limited only by the f64 residual.
+	PrecMixed Precision = "mixed"
+)
+
+// Valid reports whether p is a known precision directive ("f64" is accepted
+// as an explicit spelling of the default).
+func (p Precision) Valid() bool {
+	switch p {
+	case PrecF64, "f64", PrecF32, PrecMixed:
+		return true
+	}
+	return false
+}
+
+// String returns the precision label as it appears in reports: "f64" for
+// the default.
+func (p Precision) String() string {
+	if p == PrecF64 {
+		return "f64"
+	}
+	return string(p)
+}
+
 // Plan is the tuned decision of MULTIGRID-Vᵢ at one (level, accuracy) cell:
 // which choice to make, how many iterations of it to run, and — for the
 // recursive choice — which accuracy index j the sub-call RECURSE_j uses.
 type Plan struct {
 	Choice Choice `json:"choice"`
 	// Iters is the number of SOR sweeps or RECURSE iterations (≥ 1 for
-	// those choices; ignored for ChoiceDirect).
+	// those choices; ignored for ChoiceDirect). Under PrecMixed it is the
+	// number of refinement iterations, each wrapping one f32 step.
 	Iters int `json:"iters,omitempty"`
 	// Sub is the accuracy index j of the RECURSE_j sub-algorithm
 	// (ignored unless Choice is ChoiceRecurse).
 	Sub int `json:"sub,omitempty"`
+	// Precision selects the cell's storage precision (see Precision). The
+	// zero value is float64, so tables predating the knob deserialize to
+	// the behavior they were tuned for.
+	Precision Precision `json:"prec,omitempty"`
 }
 
 // VTable is the complete tuned MULTIGRID-V algorithm family: for every
@@ -108,12 +155,21 @@ func (t *VTable) Validate() error {
 }
 
 func (p Plan) validate(numAcc int) error {
+	if !p.Precision.Valid() {
+		return fmt.Errorf("invalid precision %q", string(p.Precision))
+	}
 	switch p.Choice {
 	case ChoiceDirect:
+		if p.Precision == PrecF32 || p.Precision == PrecMixed {
+			return fmt.Errorf("direct plan cannot carry precision %q (band Cholesky is always f64)", p.Precision)
+		}
 		return nil
 	case ChoiceSOR:
 		if p.Iters < 1 {
 			return fmt.Errorf("sor plan needs iters ≥ 1, got %d", p.Iters)
+		}
+		if p.Precision == PrecMixed {
+			return fmt.Errorf("mixed precision needs a cycle choice (recurse/vcycle), got sor")
 		}
 		return nil
 	case ChoiceRecurse:

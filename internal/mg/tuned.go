@@ -24,42 +24,141 @@ type Executor struct {
 }
 
 // SolveV runs the tuned MULTIGRID-Vᵢ algorithm for accuracy index accIdx on
-// x in place. The level is inferred from x's size.
+// x in place. The level is inferred from x's size. A cell whose plan carries
+// a precision directive is honored here: PrecF32 converts the state to
+// float32 and runs the whole sub-solve at that precision; PrecMixed runs the
+// f64 iterative-refinement loop around one-step f32 cycles.
 func (e *Executor) SolveV(x, b *grid.Grid, accIdx int) {
+	solveVOf(e, x, b, accIdx)
+}
+
+// solveVOf dispatches one tuned cell at the current storage precision.
+// Precision directives are only consulted while solving in float64 — once a
+// subtree has dropped to f32, nested directives are no-ops (the state is
+// already converted, and refinement needs an f64 iterate to correct).
+func solveVOf[T grid.Float](e *Executor, x, b *grid.G[T], accIdx int) {
 	level := grid.Level(x.N())
 	if level < 1 {
 		panic(fmt.Sprintf("mg: grid size %d is not 2^k+1", x.N()))
 	}
 	if level == 1 {
-		e.WS.SolveDirect(x, b, e.Rec)
+		solveDirectOf(e.WS, x, b, e.Rec)
 		return
 	}
 	plan := e.V.Plan(level, accIdx)
+	if grid.Bits[T]() == 64 {
+		switch plan.Precision {
+		case PrecF32:
+			x64 := any(x).(*grid.Grid)
+			b64 := any(b).(*grid.Grid)
+			e.solveVF32(x64, b64, plan)
+			return
+		case PrecMixed:
+			x64 := any(x).(*grid.Grid)
+			b64 := any(b).(*grid.Grid)
+			e.solveVMixed(x64, b64, plan)
+			return
+		}
+	}
+	solveVPlan(e, x, b, plan)
+}
+
+// solveVPlan executes a cell's choice at precision T.
+func solveVPlan[T grid.Float](e *Executor, x, b *grid.G[T], plan Plan) {
 	switch plan.Choice {
 	case ChoiceDirect:
-		e.WS.SolveDirect(x, b, e.Rec)
+		solveDirectOf(e.WS, x, b, e.Rec)
 	case ChoiceSOR:
-		e.WS.SOR(x, b, e.WS.OmegaOpt(x.N()), plan.Iters, e.Rec)
+		sorOf(e.WS, x, b, e.WS.OmegaOpt(x.N()), plan.Iters, e.Rec)
 	case ChoiceRecurse:
 		for it := 0; it < plan.Iters; it++ {
-			e.Recurse(x, b, plan.Sub)
+			recurseOf(e, x, b, plan.Sub)
 		}
 	case ChoiceVCycle:
 		for it := 0; it < plan.Iters; it++ {
-			e.WS.RefVCycle(x, b, e.Rec)
+			refVCycleOf(e.WS, x, b, e.Rec)
 		}
 	default:
 		panic(fmt.Sprintf("mg: invalid plan choice %v", plan.Choice))
 	}
 }
 
+// solveVF32 runs a PrecF32 cell: round the state to float32, execute the
+// plan's choice entirely in f32 storage, and write the interior back —
+// the caller's f64 Dirichlet boundary is never rounded. The f32 scratch pair
+// comes from the workspace arena, so steady-state solves stay
+// allocation-free.
+func (e *Executor) solveVF32(x, b *grid.Grid, plan Plan) {
+	bufs := checkoutOf[float32](e.WS, x.N())
+	defer releaseOf(e.WS, bufs)
+	x32, b32 := bufs.r, bufs.scratch
+	grid.ConvertInto(x32, x)
+	grid.ConvertInto(b32, b)
+	solveVPlan(e, x32, b32, plan)
+	grid.ConvertInteriorInto(x, x32)
+}
+
+// solveVMixed runs a PrecMixed cell: float64 iterative refinement with the
+// f32 cycle as preconditioner. Each of the plan's Iters iterations computes
+// the double-precision defect r = b − T·x, solves the error equation
+// T·e = r in float32 with ONE step of the plan's choice from a zero guess
+// (the error has zero Dirichlet boundary), and corrects x += e in float64.
+// The f32 cycle's rounding limits only the per-iteration contraction, not
+// the attainable accuracy — that is set by the f64 residual, which is what
+// lets acc=1e9 cells ride f32 bandwidth.
+func (e *Executor) solveVMixed(x, b *grid.Grid, plan Plan) {
+	n := x.N()
+	h := 1.0 / float64(n-1)
+	lvl := grid.Level(n)
+	op := e.WS.opAt(n)
+	f64 := checkoutOf[float64](e.WS, n)
+	defer releaseOf(e.WS, f64)
+	f32 := checkoutOf[float32](e.WS, n)
+	defer releaseOf(e.WS, f32)
+	r := f64.r
+	r.ZeroBoundary()
+	e32, r32 := f32.r, f32.scratch
+	step := plan
+	step.Iters = 1
+	for it := 0; it < plan.Iters; it++ {
+		op.Residual(e.WS.Pool, r, x, b, h)
+		record(e.Rec, EvResidual, lvl, 1)
+		grid.ConvertInto(r32, r)
+		e32.Zero()
+		solveVPlan(e, e32, r32, step)
+		grid.AddInteriorOf(x, e32)
+	}
+}
+
+// SolvePlanF32 executes plan's choice on pre-converted float32 state. It is
+// the body of a PrecF32 cell without the entry/exit conversions, exported so
+// the tuner can measure f32 candidates the way a deployed cell amortizes
+// them: convert once, iterate many.
+func (e *Executor) SolvePlanF32(x, b *grid.Grid32, plan Plan) { solveVPlan(e, x, b, plan) }
+
+// RefineStep runs one float64-refinement iteration of plan — the PrecMixed
+// loop body (f64 defect, one f32 step of the plan's choice, f64 correction)
+// — exported as the tuner's mixed-candidate measurement primitive.
+func (e *Executor) RefineStep(x, b *grid.Grid, plan Plan) {
+	p := plan
+	p.Iters = 1
+	e.solveVMixed(x, b, p)
+}
+
 // Recurse performs one RECURSE_j step (§2.3) on x in place: one
 // pre-smoothing sweep, residual restriction, a tuned MULTIGRID-V_j solve of
 // the coarse error equation, correction, and one post-smoothing sweep.
 func (e *Executor) Recurse(x, b *grid.Grid, subIdx int) {
-	e.WS.RecurseWith(x, b, e.Rec, func(cx, cb *grid.Grid) {
-		e.SolveV(cx, cb, subIdx)
-	})
+	recurseOf(e, x, b, subIdx)
+}
+
+// recurseOf is one RECURSE_j step at precision T; the coarse sub-solve
+// re-enters the tuned dispatch, so in float64 a coarser cell's precision
+// directive is honored mid-cycle.
+func recurseOf[T grid.Float](e *Executor, x, b *grid.G[T], subIdx int) {
+	recurseWithOf(e.WS, x, b, e.Rec, func(cx, cb *grid.G[T]) {
+		solveVOf(e, cx, cb, subIdx)
+	}, nil)
 }
 
 // RecurseNorm performs one RECURSE_j step and returns ‖b − T·x‖₂ after its

@@ -60,7 +60,7 @@ type Workspace struct {
 	NoFuse bool
 
 	cache direct.Cache // private factor-once cache when FactorCache is nil
-	arena sync.Map     // grid size -> *sync.Pool of *levelBufs
+	arena sync.Map     // [2]int{n, bits} -> *sync.Pool of *levelBufsG[T]
 }
 
 // factorCache resolves the direct-factor cache in use (shared or private).
@@ -92,20 +92,24 @@ func (ws *Workspace) OmegaOpt(n int) float64 { return ws.opAt(n).OmegaOpt(n) }
 // side and coarse solution at size (n+1)/2, all shaped to the workspace
 // operator's dimension. A levelBufs belongs to exactly one cycle step at a
 // time; concurrent solves check out distinct sets.
-type levelBufs struct {
+type levelBufsG[T grid.Float] struct {
 	n          int
-	r, scratch *grid.Grid
-	cb, cx     *grid.Grid
+	r, scratch *grid.G[T]
+	cb, cx     *grid.G[T]
 }
 
-func newLevelBufs(dim, n int) *levelBufs {
+// levelBufs is the float64 scratch set, the shape every f64 cycle step
+// checks out.
+type levelBufs = levelBufsG[float64]
+
+func newLevelBufs[T grid.Float](dim, n int) *levelBufsG[T] {
 	nc := grid.Coarsen(n)
-	return &levelBufs{
+	return &levelBufsG[T]{
 		n:       n,
-		r:       grid.NewDim(dim, n),
-		scratch: grid.NewDim(dim, n),
-		cb:      grid.NewDim(dim, nc),
-		cx:      grid.NewDim(dim, nc),
+		r:       grid.NewOf[T](dim, n),
+		scratch: grid.NewOf[T](dim, n),
+		cb:      grid.NewOf[T](dim, nc),
+		cx:      grid.NewOf[T](dim, nc),
 	}
 }
 
@@ -120,8 +124,14 @@ func NewWorkspace(pool *sched.Pool) *Workspace {
 // must return it with release; steady-state solves are allocation-free,
 // and the total number of live sets is bounded by the number of concurrent
 // cycle steps per size, not by the number of solves ever run.
-func (ws *Workspace) checkout(n int) *levelBufs {
-	pi, ok := ws.arena.Load(n)
+func (ws *Workspace) checkout(n int) *levelBufs { return checkoutOf[float64](ws, n) }
+
+// checkoutOf is checkout at an arbitrary storage precision: the arena keys
+// scratch sets by (size, precision), so f32 cycle steps recycle their own
+// buffer population without disturbing the f64 one.
+func checkoutOf[T grid.Float](ws *Workspace, n int) *levelBufsG[T] {
+	key := [2]int{n, grid.Bits[T]()}
+	pi, ok := ws.arena.Load(key)
 	if !ok {
 		if grid.Level(n) < 2 {
 			panic(fmt.Sprintf("mg: no scratch buffers for size %d", n))
@@ -129,20 +139,45 @@ func (ws *Workspace) checkout(n int) *levelBufs {
 		// One workspace serves one operator, so the arena's dimension is
 		// fixed at the operator's.
 		dim := ws.Operator().Dim()
-		pi, _ = ws.arena.LoadOrStore(n, &sync.Pool{New: func() any { return newLevelBufs(dim, n) }})
+		pi, _ = ws.arena.LoadOrStore(key, &sync.Pool{New: func() any { return newLevelBufs[T](dim, n) }})
 	}
-	return pi.(*sync.Pool).Get().(*levelBufs)
+	return pi.(*sync.Pool).Get().(*levelBufsG[T])
 }
 
 // release returns a checked-out scratch set to the arena.
-func (ws *Workspace) release(b *levelBufs) {
-	pi, _ := ws.arena.Load(b.n)
+func (ws *Workspace) release(b *levelBufs) { releaseOf(ws, b) }
+
+func releaseOf[T grid.Float](ws *Workspace, b *levelBufsG[T]) {
+	pi, _ := ws.arena.Load([2]int{b.n, grid.Bits[T]()})
 	pi.(*sync.Pool).Put(b)
 }
 
 // SolveDirect overwrites x's interior with the exact solution of T·x = b via
 // band Cholesky, using x's boundary as Dirichlet data.
 func (ws *Workspace) SolveDirect(x, b *grid.Grid, rec Recorder) {
+	ws.solveDirect64(x, b, rec)
+}
+
+// solveDirectOf is the direct base case at any storage precision. The band
+// Cholesky itself always runs in float64 — at the coarse sizes direct plans
+// win, the factorization is compute-bound, so there is nothing to gain from
+// f32 storage and everything to lose in factor quality. A float32 call
+// converts the problem in, solves exactly, and rounds the solution back.
+func solveDirectOf[T grid.Float](ws *Workspace, x, b *grid.G[T], rec Recorder) {
+	if x64, ok := any(x).(*grid.Grid); ok {
+		ws.solveDirect64(x64, any(b).(*grid.Grid), rec)
+		return
+	}
+	n, dim := x.N(), x.Dim()
+	x64 := grid.NewDim(dim, n)
+	b64 := grid.NewDim(dim, n)
+	grid.ConvertInto(x64, x)
+	grid.ConvertInto(b64, b)
+	ws.solveDirect64(x64, b64, rec)
+	grid.ConvertInto(x, x64)
+}
+
+func (ws *Workspace) solveDirect64(x, b *grid.Grid, rec Recorder) {
 	n := x.N()
 	h := 1.0 / float64(n-1)
 	op := ws.opAt(n)
@@ -163,15 +198,21 @@ func (ws *Workspace) SolveDirect(x, b *grid.Grid, rec Recorder) {
 // NoFuse pins the strided oracle loop. The iterate is bit-identical either
 // way.
 func (ws *Workspace) SOR(x, b *grid.Grid, omega float64, sweeps int, rec Recorder) {
+	sorOf(ws, x, b, omega, sweeps, rec)
+}
+
+// sorOf is SOR at any storage precision; omega stays a float64 parameter so
+// tuned weights round identically on both paths.
+func sorOf[T grid.Float](ws *Workspace, x, b *grid.G[T], omega float64, sweeps int, rec Recorder) {
 	n := x.N()
-	h := 1.0 / float64(n-1)
+	h := T(1.0 / float64(n-1))
 	op := ws.opAt(n)
 	if ws.NoFuse {
 		for s := 0; s < sweeps; s++ {
-			op.SORSweepRB(ws.Pool, x, b, h, omega)
+			stencil.OpSORSweepRB(op, ws.Pool, x, b, h, T(omega))
 		}
 	} else {
-		op.SORSweeps(ws.Pool, x, b, h, omega, sweeps)
+		stencil.OpSORSweeps(op, ws.Pool, x, b, h, T(omega), sweeps)
 	}
 	record(rec, EvIterSolve, grid.Level(n), sweeps)
 }
@@ -209,19 +250,23 @@ const jacobiWeight = 2.0 / 3.0
 // family's in-cycle heuristic (stencil.Operator.OmegaSmooth); the Jacobi
 // ablation keeps the classic fixed w = 2/3 for every family.
 func (ws *Workspace) smooth(x, b, tmp *grid.Grid, sweeps int, rec Recorder) {
+	smoothOf(ws, x, b, tmp, sweeps, rec)
+}
+
+func smoothOf[T grid.Float](ws *Workspace, x, b, tmp *grid.G[T], sweeps int, rec Recorder) {
 	n := x.N()
-	h := 1.0 / float64(n-1)
+	h := T(1.0 / float64(n-1))
 	op := ws.opAt(n)
 	switch ws.Smoother {
 	case SmootherJacobi:
 		for s := 0; s < sweeps; s++ {
-			op.JacobiSweep(ws.Pool, tmp, x, b, h, jacobiWeight)
+			stencil.OpJacobiSweep(op, ws.Pool, tmp, x, b, h, T(jacobiWeight))
 			x.CopyFrom(tmp)
 		}
 	default:
-		omega := op.OmegaSmooth()
+		omega := T(op.OmegaSmooth())
 		for s := 0; s < sweeps; s++ {
-			op.SORSweepRB(ws.Pool, x, b, h, omega)
+			stencil.OpSORSweepRB(op, ws.Pool, x, b, h, omega)
 		}
 	}
 	record(rec, EvRelax, grid.Level(n), sweeps)
@@ -238,18 +283,22 @@ func (ws *Workspace) smooth(x, b, tmp *grid.Grid, sweeps int, rec Recorder) {
 // the trace counts logical operations, and the architecture cost model
 // prices their (now fused) traversal intensities.
 func (ws *Workspace) restrictResidual(x, b, cb, r *grid.Grid, rec Recorder) {
+	restrictResidualOf(ws, x, b, cb, r, rec)
+}
+
+func restrictResidualOf[T grid.Float](ws *Workspace, x, b, cb, r *grid.G[T], rec Recorder) {
 	n := x.N()
-	h := 1.0 / float64(n-1)
+	h := T(1.0 / float64(n-1))
 	lvl := grid.Level(n)
 	op := ws.opAt(n)
 	if ws.NoFuse {
-		op.Residual(ws.Pool, r, x, b, h)
+		stencil.OpResidual(op, ws.Pool, r, x, b, h)
 		record(rec, EvResidual, lvl, 1)
 		transfer.Restrict(ws.Pool, cb, r)
 		record(rec, EvRestrict, lvl, 1)
 		return
 	}
-	op.ResidualRestrict(ws.Pool, cb, x, b, h)
+	stencil.OpResidualRestrict(op, ws.Pool, cb, x, b, h)
 	record(rec, EvResidual, lvl, 1)
 	record(rec, EvRestrict, lvl, 1)
 }
@@ -260,7 +309,7 @@ func (ws *Workspace) restrictResidual(x, b, cb, r *grid.Grid, rec Recorder) {
 // coarseSolve, correct, post-smooth. coarseSolve receives a zeroed coarse
 // state and the restricted residual.
 func (ws *Workspace) RecurseWith(x, b *grid.Grid, rec Recorder, coarseSolve func(cx, cb *grid.Grid)) {
-	ws.recurseWith(x, b, rec, coarseSolve, nil)
+	recurseWithOf(ws, x, b, rec, coarseSolve, nil)
 }
 
 // RecurseWithNorm is RecurseWith fused with the convergence probe: it also
@@ -270,24 +319,27 @@ func (ws *Workspace) RecurseWith(x, b *grid.Grid, rec Recorder, coarseSolve func
 // full-grid pass per step at the finest level.
 func (ws *Workspace) RecurseWithNorm(x, b *grid.Grid, rec Recorder, coarseSolve func(cx, cb *grid.Grid)) float64 {
 	var norm float64
-	ws.recurseWith(x, b, rec, coarseSolve, &norm)
+	recurseWithOf(ws, x, b, rec, coarseSolve, &norm)
 	return norm
 }
 
-func (ws *Workspace) recurseWith(x, b *grid.Grid, rec Recorder, coarseSolve func(cx, cb *grid.Grid), norm *float64) {
+// recurseWithOf is the precision-generic coarse-grid-correction skeleton.
+// Convergence accounting stays float64 at every precision: the fused norm
+// kernels accumulate residuals in double regardless of T.
+func recurseWithOf[T grid.Float](ws *Workspace, x, b *grid.G[T], rec Recorder, coarseSolve func(cx, cb *grid.G[T]), norm *float64) {
 	n := x.N()
-	h := 1.0 / float64(n-1)
+	h := T(1.0 / float64(n-1))
 	op := ws.opAt(n)
 	if n == 3 {
-		ws.SolveDirect(x, b, rec)
+		solveDirectOf(ws, x, b, rec)
 		if norm != nil {
-			*norm = op.ResidualNorm(ws.Pool, x, b, h)
+			*norm = stencil.OpResidualNorm(op, ws.Pool, x, b, h)
 		}
 		return
 	}
 	lvl := grid.Level(n)
-	bufs := ws.checkout(n)
-	defer ws.release(bufs)
+	bufs := checkoutOf[T](ws, n)
+	defer releaseOf(ws, bufs)
 
 	// Downstroke: pre-smooth, residual, restrict. With the SOR smoother the
 	// three passes run as one composed kernel — the sweep's black half
@@ -296,13 +348,13 @@ func (ws *Workspace) recurseWith(x, b *grid.Grid, rec Recorder, coarseSolve func
 	// standalone residual pass. The Jacobi ablation and the NoFuse oracle
 	// keep the separate passes.
 	if ws.Smoother == SmootherSOR && !ws.NoFuse {
-		op.SmoothResidualRestrict(ws.Pool, bufs.cb, x, b, bufs.r, h, op.OmegaSmooth())
+		stencil.OpSmoothResidualRestrict(op, ws.Pool, bufs.cb, x, b, bufs.r, h, T(op.OmegaSmooth()))
 		record(rec, EvRelax, lvl, 1)
 		record(rec, EvResidual, lvl, 1)
 		record(rec, EvRestrict, lvl, 1)
 	} else {
-		ws.smooth(x, b, bufs.scratch, 1, rec)
-		ws.restrictResidual(x, b, bufs.cb, bufs.r, rec)
+		smoothOf(ws, x, b, bufs.scratch, 1, rec)
+		restrictResidualOf(ws, x, b, bufs.cb, bufs.r, rec)
 	}
 	bufs.cx.Zero()
 	coarseSolve(bufs.cx, bufs.cb)
@@ -315,21 +367,21 @@ func (ws *Workspace) recurseWith(x, b *grid.Grid, rec Recorder, coarseSolve func
 	// (FinishSmoothWithNorm). The iterate is bit-identical to the separate
 	// passes, which the Jacobi ablation and the NoFuse oracle preserve.
 	if ws.Smoother == SmootherSOR && !ws.NoFuse {
-		omega := op.OmegaSmooth()
-		op.InterpolateCorrectSmooth(ws.Pool, x, b, bufs.cx, h, omega)
+		omega := T(op.OmegaSmooth())
+		stencil.OpInterpolateCorrectSmooth(op, ws.Pool, x, b, bufs.cx, h, omega)
 		record(rec, EvInterp, lvl, 1)
 		if norm == nil {
-			op.FinishSmooth(ws.Pool, x, b, h, omega)
+			stencil.OpFinishSmooth(op, ws.Pool, x, b, h, omega)
 		} else {
-			*norm = op.FinishSmoothWithNorm(ws.Pool, x, b, h, omega)
+			*norm = stencil.OpFinishSmoothWithNorm(op, ws.Pool, x, b, h, omega)
 		}
 		record(rec, EvRelax, lvl, 1)
 		return
 	}
 	transfer.InterpolateAdd(ws.Pool, x, bufs.cx, bufs.scratch)
 	record(rec, EvInterp, lvl, 1)
-	ws.smooth(x, b, bufs.scratch, 1, rec)
+	smoothOf(ws, x, b, bufs.scratch, 1, rec)
 	if norm != nil {
-		*norm = op.ResidualNorm(ws.Pool, x, b, h)
+		*norm = stencil.OpResidualNorm(op, ws.Pool, x, b, h)
 	}
 }

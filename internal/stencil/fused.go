@@ -66,7 +66,7 @@ func sumRows(sums []float64, n int) float64 {
 const gatherMinOneMinusOmega = 1e-3
 
 // redHalfSweep is SORSweepRB's color-0 half-sweep for the Laplacian.
-func redHalfSweep(pool *sched.Pool, x, b *grid.Grid, h2, omega float64) {
+func redHalfSweep[T grid.Float](pool *sched.Pool, x, b *grid.G[T], h2, omega T) {
 	n := x.N()
 	parallelRows(pool, n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -90,7 +90,7 @@ func redHalfSweep(pool *sched.Pool, x, b *grid.Grid, h2, omega float64) {
 // half-sweep then moves the neighbours, and the fused restriction
 // reconstructs the final red residual by gathering the neighbours' stored
 // deltas (gatherFixup).
-func redHalfSweepEmit(pool *sched.Pool, x, b, r *grid.Grid, h2, omega, rFac float64) {
+func redHalfSweepEmit[T grid.Float](pool *sched.Pool, x, b, r *grid.G[T], h2, omega, rFac T) {
 	n := x.N()
 	parallelRows(pool, n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -112,7 +112,7 @@ func redHalfSweepEmit(pool *sched.Pool, x, b, r *grid.Grid, h2, omega, rFac floa
 // blackHalfSweepEmit is the color-1 half-sweep, emitting each black point's
 // post-sweep residual into r as it relaxes: every neighbour of a black
 // point is final, so r = 4·(1−ω)·(gs − x_old)/h² exactly.
-func blackHalfSweepEmit(pool *sched.Pool, x, b, r *grid.Grid, h2, omega, rFac float64) {
+func blackHalfSweepEmit[T grid.Float](pool *sched.Pool, x, b, r *grid.G[T], h2, omega, rFac T) {
 	n := x.N()
 	parallelRows(pool, n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -134,7 +134,7 @@ func blackHalfSweepEmit(pool *sched.Pool, x, b, r *grid.Grid, h2, omega, rFac fl
 // redFixup evaluates the post-sweep residual at red points directly from
 // the final iterate — the same expression (and therefore the same bits) as
 // the unfused Residual kernel.
-func redFixup(pool *sched.Pool, x, b, r *grid.Grid, inv float64) {
+func redFixup[T grid.Float](pool *sched.Pool, x, b, r *grid.G[T], inv T) {
 	n := x.N()
 	parallelRows(pool, n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -158,7 +158,7 @@ func redFixup(pool *sched.Pool, x, b, r *grid.Grid, inv float64) {
 // the face weight and the delta encoding together. One half-traversal of a
 // single grid replaces the full (x, b)-reading residual evaluation at red
 // points; x and b are never touched.
-func gatherFixup(pool *sched.Pool, r *grid.Grid, kx, ky float64) {
+func gatherFixup[T grid.Float](pool *sched.Pool, r *grid.G[T], kx, ky T) {
 	n := r.N()
 	parallelRows(pool, n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -179,7 +179,7 @@ func gatherFixup(pool *sched.Pool, r *grid.Grid, kx, ky float64) {
 // red (i+j even) points and to rounding error at black points, where it is
 // derived from the update delta instead of re-evaluated. r must not alias
 // x or b.
-func SmoothResidual(pool *sched.Pool, x, b, r *grid.Grid, h, omega float64) {
+func SmoothResidual[T grid.Float](pool *sched.Pool, x, b, r *grid.G[T], h, omega T) {
 	h2 := h * h
 	inv := 1 / h2
 	r.ZeroBoundary()
@@ -196,7 +196,7 @@ func SmoothResidual(pool *sched.Pool, x, b, r *grid.Grid, h, omega float64) {
 // holding the full post-sweep residual and the oracle Restrict consumes
 // it — so the three logical passes cost one (x, b) traversal plus a half
 // r-traversal more than the sweep alone.
-func smoothResidualRestrict(pool *sched.Pool, coarse, x, b, r *grid.Grid, h, omega float64) {
+func smoothResidualRestrict[T grid.Float](pool *sched.Pool, coarse, x, b, r *grid.G[T], h, omega T) {
 	h2 := h * h
 	inv := 1 / h2
 	rFac := 4 * (1 - omega) * inv
@@ -215,7 +215,7 @@ func smoothResidualRestrict(pool *sched.Pool, coarse, x, b, r *grid.Grid, h, ome
 // SweepWithNorm performs one full red-black SOR sweep in place on x and
 // returns ‖b − T·x‖₂ over interior points after the sweep, without a
 // separate residual traversal. The reduction is deterministic for any pool.
-func SweepWithNorm(pool *sched.Pool, x, b *grid.Grid, h, omega float64) float64 {
+func SweepWithNorm[T grid.Float](pool *sched.Pool, x, b *grid.G[T], h, omega T) float64 {
 	h2 := h * h
 	inv := 1 / h2
 	redHalfSweep(pool, x, b, h2, omega)
@@ -227,7 +227,7 @@ func SweepWithNorm(pool *sched.Pool, x, b *grid.Grid, h, omega float64) float64 
 // accumulator, then a red norm half-pass over the final iterate. Shared by
 // SweepWithNorm and the fused upstroke's FinishSmoothWithNorm so both
 // produce the same bits.
-func finishSweepNorm(pool *sched.Pool, x, b *grid.Grid, h2, inv, omega, rFac float64) float64 {
+func finishSweepNorm[T grid.Float](pool *sched.Pool, x, b *grid.G[T], h2, inv, omega, rFac T) float64 {
 	n := x.N()
 	sums := make([]float64, n)
 	parallelRows(pool, n, func(lo, hi int) {
@@ -241,7 +241,7 @@ func finishSweepNorm(pool *sched.Pool, x, b *grid.Grid, h2, inv, omega, rFac flo
 				gs := (up[j] + down[j] + xr[j-1] + xr[j+1] + h2*br[j]) * 0.25
 				d := gs - xr[j]
 				xr[j] += omega * d
-				rb := rFac * d
+				rb := float64(rFac * d)
 				s += rb * rb
 			}
 			sums[i] = s
@@ -255,7 +255,7 @@ func finishSweepNorm(pool *sched.Pool, x, b *grid.Grid, h2, inv, omega, rFac flo
 			br := b.Row(i)
 			s := sums[i]
 			for j := 1 + (i+1)%2; j < n-1; j += 2 {
-				rv := br[j] - (4*xr[j]-up[j]-down[j]-xr[j-1]-xr[j+1])*inv
+				rv := float64(br[j] - (4*xr[j]-up[j]-down[j]-xr[j-1]-xr[j+1])*inv)
 				s += rv * rv
 			}
 			sums[i] = s
@@ -266,7 +266,7 @@ func finishSweepNorm(pool *sched.Pool, x, b *grid.Grid, h2, inv, omega, rFac flo
 
 // residualNormPar is the pool-parallel, deterministically chunked
 // counterpart of ResidualNorm for the constant-coefficient Laplacian.
-func residualNormPar(pool *sched.Pool, x, b *grid.Grid, h float64) float64 {
+func residualNormPar[T grid.Float](pool *sched.Pool, x, b *grid.G[T], h T) float64 {
 	n := x.N()
 	inv := 1 / (h * h)
 	sums := make([]float64, n)
@@ -278,7 +278,7 @@ func residualNormPar(pool *sched.Pool, x, b *grid.Grid, h float64) float64 {
 			br := b.Row(i)
 			var s float64
 			for j := 1; j < n-1; j++ {
-				r := br[j] - (4*xr[j]-up[j]-down[j]-xr[j-1]-xr[j+1])*inv
+				r := float64(br[j] - (4*xr[j]-up[j]-down[j]-xr[j-1]-xr[j+1])*inv)
 				s += r * r
 			}
 			sums[i] = s
@@ -290,9 +290,9 @@ func residualNormPar(pool *sched.Pool, x, b *grid.Grid, h float64) float64 {
 // residualRowPoisson returns a provider computing interior fine residual
 // rows of the Laplacian for transfer.RestrictResidual. The per-point
 // expression is the unfused Residual kernel's.
-func residualRowPoisson(x, b *grid.Grid, inv float64) func(fi int, dst []float64) {
+func residualRowPoisson[T grid.Float](x, b *grid.G[T], inv T) func(fi int, dst []T) {
 	n := x.N()
-	return func(fi int, dst []float64) {
+	return func(fi int, dst []T) {
 		xr := x.Row(fi)
 		up := x.Row(fi - 1)
 		down := x.Row(fi + 1)
@@ -306,7 +306,7 @@ func residualRowPoisson(x, b *grid.Grid, inv float64) func(fi int, dst []float64
 
 // --- constant-coefficient stencil (horizontal weight cx, vertical cy) ---
 
-func redHalfSweepConst(pool *sched.Pool, x, b *grid.Grid, h2, omega, cx, cy, invC float64) {
+func redHalfSweepConst[T grid.Float](pool *sched.Pool, x, b *grid.G[T], h2, omega, cx, cy, invC T) {
 	n := x.N()
 	parallelRows(pool, n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -324,7 +324,7 @@ func redHalfSweepConst(pool *sched.Pool, x, b *grid.Grid, h2, omega, cx, cy, inv
 
 // redHalfSweepEmitConst emits each red point's mid-sweep residual from the
 // update delta (see redHalfSweepEmit).
-func redHalfSweepEmitConst(pool *sched.Pool, x, b, r *grid.Grid, h2, omega, cx, cy, invC, rFac float64) {
+func redHalfSweepEmitConst[T grid.Float](pool *sched.Pool, x, b, r *grid.G[T], h2, omega, cx, cy, invC, rFac T) {
 	n := x.N()
 	parallelRows(pool, n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -343,7 +343,7 @@ func redHalfSweepEmitConst(pool *sched.Pool, x, b, r *grid.Grid, h2, omega, cx, 
 	})
 }
 
-func blackHalfSweepEmitConst(pool *sched.Pool, x, b, r *grid.Grid, h2, omega, cx, cy, invC, rFac float64) {
+func blackHalfSweepEmitConst[T grid.Float](pool *sched.Pool, x, b, r *grid.G[T], h2, omega, cx, cy, invC, rFac T) {
 	n := x.N()
 	parallelRows(pool, n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -362,7 +362,7 @@ func blackHalfSweepEmitConst(pool *sched.Pool, x, b, r *grid.Grid, h2, omega, cx
 	})
 }
 
-func redFixupConst(pool *sched.Pool, x, b, r *grid.Grid, inv, cx, cy, center float64) {
+func redFixupConst[T grid.Float](pool *sched.Pool, x, b, r *grid.G[T], inv, cx, cy, center T) {
 	n := x.N()
 	parallelRows(pool, n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -379,7 +379,7 @@ func redFixupConst(pool *sched.Pool, x, b, r *grid.Grid, inv, cx, cy, center flo
 }
 
 // smoothResidualConst is SmoothResidual for a constant-coefficient stencil.
-func smoothResidualConst(pool *sched.Pool, x, b, r *grid.Grid, h, omega, cx, cy float64) {
+func smoothResidualConst[T grid.Float](pool *sched.Pool, x, b, r *grid.G[T], h, omega, cx, cy T) {
 	h2 := h * h
 	inv := 1 / h2
 	center := 2 * (cx + cy)
@@ -393,7 +393,7 @@ func smoothResidualConst(pool *sched.Pool, x, b, r *grid.Grid, h, omega, cx, cy 
 // smoothResidualRestrictConst is the composed downstroke for a
 // constant-coefficient stencil (see smoothResidualRestrict): the gather
 // weights fold the face coefficients, k• = ω·c•/(C·(1−ω)).
-func smoothResidualRestrictConst(pool *sched.Pool, coarse, x, b, r *grid.Grid, h, omega, cx, cy float64) {
+func smoothResidualRestrictConst[T grid.Float](pool *sched.Pool, coarse, x, b, r *grid.G[T], h, omega, cx, cy T) {
 	h2 := h * h
 	inv := 1 / h2
 	center := 2 * (cx + cy)
@@ -412,14 +412,14 @@ func smoothResidualRestrictConst(pool *sched.Pool, coarse, x, b, r *grid.Grid, h
 }
 
 // sweepWithNormConst is SweepWithNorm for a constant-coefficient stencil.
-func sweepWithNormConst(pool *sched.Pool, x, b *grid.Grid, h, omega, cx, cy float64) float64 {
+func sweepWithNormConst[T grid.Float](pool *sched.Pool, x, b *grid.G[T], h, omega, cx, cy T) float64 {
 	h2 := h * h
 	redHalfSweepConst(pool, x, b, h2, omega, cx, cy, 1/(2*(cx+cy)))
 	return finishSweepNormConst(pool, x, b, h2, 1/h2, omega, cx, cy)
 }
 
 // finishSweepNormConst is finishSweepNorm for a constant-coefficient stencil.
-func finishSweepNormConst(pool *sched.Pool, x, b *grid.Grid, h2, inv, omega, cx, cy float64) float64 {
+func finishSweepNormConst[T grid.Float](pool *sched.Pool, x, b *grid.G[T], h2, inv, omega, cx, cy T) float64 {
 	n := x.N()
 	center := 2 * (cx + cy)
 	invC := 1 / center
@@ -436,7 +436,7 @@ func finishSweepNormConst(pool *sched.Pool, x, b *grid.Grid, h2, inv, omega, cx,
 				gs := (cy*(up[j]+down[j]) + cx*(xr[j-1]+xr[j+1]) + h2*br[j]) * invC
 				d := gs - xr[j]
 				xr[j] += omega * d
-				rb := rFac * d
+				rb := float64(rFac * d)
 				s += rb * rb
 			}
 			sums[i] = s
@@ -450,7 +450,7 @@ func finishSweepNormConst(pool *sched.Pool, x, b *grid.Grid, h2, inv, omega, cx,
 			br := b.Row(i)
 			s := sums[i]
 			for j := 1 + (i+1)%2; j < n-1; j += 2 {
-				rv := br[j] - (center*xr[j]-cy*(up[j]+down[j])-cx*(xr[j-1]+xr[j+1]))*inv
+				rv := float64(br[j] - (center*xr[j]-cy*(up[j]+down[j])-cx*(xr[j-1]+xr[j+1]))*inv)
 				s += rv * rv
 			}
 			sums[i] = s
@@ -461,7 +461,7 @@ func finishSweepNormConst(pool *sched.Pool, x, b *grid.Grid, h2, inv, omega, cx,
 
 // residualNormParConst is the parallel deterministic residual norm for a
 // constant-coefficient stencil.
-func residualNormParConst(pool *sched.Pool, x, b *grid.Grid, h, cx, cy float64) float64 {
+func residualNormParConst[T grid.Float](pool *sched.Pool, x, b *grid.G[T], h, cx, cy T) float64 {
 	n := x.N()
 	inv := 1 / (h * h)
 	center := 2 * (cx + cy)
@@ -474,7 +474,7 @@ func residualNormParConst(pool *sched.Pool, x, b *grid.Grid, h, cx, cy float64) 
 			br := b.Row(i)
 			var s float64
 			for j := 1; j < n-1; j++ {
-				r := br[j] - (center*xr[j]-cy*(up[j]+down[j])-cx*(xr[j-1]+xr[j+1]))*inv
+				r := float64(br[j] - (center*xr[j]-cy*(up[j]+down[j])-cx*(xr[j-1]+xr[j+1]))*inv)
 				s += r * r
 			}
 			sums[i] = s
@@ -485,10 +485,10 @@ func residualNormParConst(pool *sched.Pool, x, b *grid.Grid, h, cx, cy float64) 
 
 // residualRowConst is the residual row provider for a constant-coefficient
 // stencil.
-func residualRowConst(x, b *grid.Grid, inv, cx, cy float64) func(fi int, dst []float64) {
+func residualRowConst[T grid.Float](x, b *grid.G[T], inv, cx, cy T) func(fi int, dst []T) {
 	n := x.N()
 	center := 2 * (cx + cy)
-	return func(fi int, dst []float64) {
+	return func(fi int, dst []T) {
 		xr := x.Row(fi)
 		up := x.Row(fi - 1)
 		down := x.Row(fi + 1)
@@ -502,7 +502,7 @@ func residualRowConst(x, b *grid.Grid, inv, cx, cy float64) func(fi int, dst []f
 
 // --- variable-coefficient stencil (nodal field c) ---
 
-func redHalfSweepVar(pool *sched.Pool, x, b *grid.Grid, h2, omega float64, c *grid.Grid) {
+func redHalfSweepVar[T grid.Float](pool *sched.Pool, x, b *grid.G[T], h2, omega T, c *grid.G[T]) {
 	n := x.N()
 	parallelRows(pool, n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -526,7 +526,7 @@ func redHalfSweepVar(pool *sched.Pool, x, b *grid.Grid, h2, omega float64, c *gr
 	})
 }
 
-func blackHalfSweepEmitVar(pool *sched.Pool, x, b, r *grid.Grid, h2, omega, inv float64, c *grid.Grid) {
+func blackHalfSweepEmitVar[T grid.Float](pool *sched.Pool, x, b, r *grid.G[T], h2, omega, inv T, c *grid.G[T]) {
 	n := x.N()
 	oneMinus := 1 - omega
 	parallelRows(pool, n, func(lo, hi int) {
@@ -555,7 +555,7 @@ func blackHalfSweepEmitVar(pool *sched.Pool, x, b, r *grid.Grid, h2, omega, inv 
 	})
 }
 
-func redFixupVar(pool *sched.Pool, x, b, r *grid.Grid, inv float64, c *grid.Grid) {
+func redFixupVar[T grid.Float](pool *sched.Pool, x, b, r *grid.G[T], inv T, c *grid.G[T]) {
 	n := x.N()
 	parallelRows(pool, n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -580,7 +580,7 @@ func redFixupVar(pool *sched.Pool, x, b, r *grid.Grid, inv float64, c *grid.Grid
 }
 
 // smoothResidualVar is SmoothResidual for a variable-coefficient stencil.
-func smoothResidualVar(pool *sched.Pool, x, b, r *grid.Grid, h, omega float64, c *grid.Grid) {
+func smoothResidualVar[T grid.Float](pool *sched.Pool, x, b, r *grid.G[T], h, omega T, c *grid.G[T]) {
 	h2 := h * h
 	inv := 1 / h2
 	r.ZeroBoundary()
@@ -596,20 +596,20 @@ func smoothResidualVar(pool *sched.Pool, x, b, r *grid.Grid, h, omega float64, c
 // evaluating the red residual directly — so the downstroke is the fused
 // SmoothResidual (black residuals still come free from the sweep) followed
 // by the oracle restriction.
-func smoothResidualRestrictVar(pool *sched.Pool, coarse, x, b, r *grid.Grid, h, omega float64, c *grid.Grid) {
+func smoothResidualRestrictVar[T grid.Float](pool *sched.Pool, coarse, x, b, r *grid.G[T], h, omega T, c *grid.G[T]) {
 	smoothResidualVar(pool, x, b, r, h, omega, c)
 	transfer.Restrict(pool, coarse, r)
 }
 
 // sweepWithNormVar is SweepWithNorm for a variable-coefficient stencil.
-func sweepWithNormVar(pool *sched.Pool, x, b *grid.Grid, h, omega float64, c *grid.Grid) float64 {
+func sweepWithNormVar[T grid.Float](pool *sched.Pool, x, b *grid.G[T], h, omega T, c *grid.G[T]) float64 {
 	h2 := h * h
 	redHalfSweepVar(pool, x, b, h2, omega, c)
 	return finishSweepNormVar(pool, x, b, h2, 1/h2, omega, c)
 }
 
 // finishSweepNormVar is finishSweepNorm for a variable-coefficient stencil.
-func finishSweepNormVar(pool *sched.Pool, x, b *grid.Grid, h2, inv, omega float64, c *grid.Grid) float64 {
+func finishSweepNormVar[T grid.Float](pool *sched.Pool, x, b *grid.G[T], h2, inv, omega T, c *grid.G[T]) float64 {
 	n := x.N()
 	oneMinus := 1 - omega
 	sums := make([]float64, n)
@@ -633,7 +633,7 @@ func finishSweepNormVar(pool *sched.Pool, x, b *grid.Grid, h2, inv, omega float6
 				gs := (cn*up[j] + cs*down[j] + cw*xr[j-1] + ce*xr[j+1] + h2*br[j]) / center
 				d := gs - xr[j]
 				xr[j] += omega * d
-				rb := center * oneMinus * d * inv
+				rb := float64(center * oneMinus * d * inv)
 				s += rb * rb
 			}
 			sums[i] = s
@@ -655,7 +655,7 @@ func finishSweepNormVar(pool *sched.Pool, x, b *grid.Grid, h2, inv, omega float6
 				cs := 0.5 * (cc + cd[j])
 				cw := 0.5 * (cc + cr[j-1])
 				ce := 0.5 * (cc + cr[j+1])
-				rv := br[j] - ((cn+cs+cw+ce)*xr[j]-cn*up[j]-cs*down[j]-cw*xr[j-1]-ce*xr[j+1])*inv
+				rv := float64(br[j] - ((cn+cs+cw+ce)*xr[j]-cn*up[j]-cs*down[j]-cw*xr[j-1]-ce*xr[j+1])*inv)
 				s += rv * rv
 			}
 			sums[i] = s
@@ -666,7 +666,7 @@ func finishSweepNormVar(pool *sched.Pool, x, b *grid.Grid, h2, inv, omega float6
 
 // residualNormParVar is the parallel deterministic residual norm for a
 // variable-coefficient stencil.
-func residualNormParVar(pool *sched.Pool, x, b *grid.Grid, h float64, c *grid.Grid) float64 {
+func residualNormParVar[T grid.Float](pool *sched.Pool, x, b *grid.G[T], h T, c *grid.G[T]) float64 {
 	n := x.N()
 	inv := 1 / (h * h)
 	sums := make([]float64, n)
@@ -686,7 +686,7 @@ func residualNormParVar(pool *sched.Pool, x, b *grid.Grid, h float64, c *grid.Gr
 				cs := 0.5 * (cc + cd[j])
 				cw := 0.5 * (cc + cr[j-1])
 				ce := 0.5 * (cc + cr[j+1])
-				r := br[j] - ((cn+cs+cw+ce)*xr[j]-cn*up[j]-cs*down[j]-cw*xr[j-1]-ce*xr[j+1])*inv
+				r := float64(br[j] - ((cn+cs+cw+ce)*xr[j]-cn*up[j]-cs*down[j]-cw*xr[j-1]-ce*xr[j+1])*inv)
 				s += r * r
 			}
 			sums[i] = s
@@ -697,9 +697,9 @@ func residualNormParVar(pool *sched.Pool, x, b *grid.Grid, h float64, c *grid.Gr
 
 // residualRowVar is the residual row provider for a variable-coefficient
 // stencil.
-func residualRowVar(x, b *grid.Grid, inv float64, c *grid.Grid) func(fi int, dst []float64) {
+func residualRowVar[T grid.Float](x, b *grid.G[T], inv T, c *grid.G[T]) func(fi int, dst []T) {
 	n := x.N()
-	return func(fi int, dst []float64) {
+	return func(fi int, dst []T) {
 		xr := x.Row(fi)
 		up := x.Row(fi - 1)
 		down := x.Row(fi + 1)

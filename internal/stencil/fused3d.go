@@ -15,7 +15,7 @@ import (
 )
 
 // redHalfSweep3 is sorSweepRB3's color-0 half-sweep.
-func redHalfSweep3(pool *sched.Pool, x, b *grid.Grid, h2, omega float64) {
+func redHalfSweep3[T grid.Float](pool *sched.Pool, x, b *grid.G[T], h2, omega T) {
 	n := x.N()
 	parallelPlanes(pool, n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -38,7 +38,7 @@ func redHalfSweep3(pool *sched.Pool, x, b *grid.Grid, h2, omega float64) {
 // redHalfSweepEmit3 is the color-0 half-sweep, emitting each red point's
 // mid-sweep residual into r from the update delta (see the 2D
 // redHalfSweepEmit for the derivation).
-func redHalfSweepEmit3(pool *sched.Pool, x, b, r *grid.Grid, h2, omega, rFac float64) {
+func redHalfSweepEmit3[T grid.Float](pool *sched.Pool, x, b, r *grid.G[T], h2, omega, rFac T) {
 	n := x.N()
 	parallelPlanes(pool, n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -63,7 +63,7 @@ func redHalfSweepEmit3(pool *sched.Pool, x, b, r *grid.Grid, h2, omega, rFac flo
 
 // blackHalfSweepEmit3 is the color-1 half-sweep, emitting each black
 // point's post-sweep residual into r from the update delta.
-func blackHalfSweepEmit3(pool *sched.Pool, x, b, r *grid.Grid, h2, omega, rFac float64) {
+func blackHalfSweepEmit3[T grid.Float](pool *sched.Pool, x, b, r *grid.G[T], h2, omega, rFac T) {
 	n := x.N()
 	parallelPlanes(pool, n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -88,7 +88,7 @@ func blackHalfSweepEmit3(pool *sched.Pool, x, b, r *grid.Grid, h2, omega, rFac f
 
 // redFixup3 evaluates the post-sweep residual at red points directly from
 // the final iterate, matching residual3's expression bit for bit.
-func redFixup3(pool *sched.Pool, x, b, r *grid.Grid, inv float64) {
+func redFixup3[T grid.Float](pool *sched.Pool, x, b, r *grid.G[T], inv T) {
 	n := x.N()
 	parallelPlanes(pool, n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -112,7 +112,7 @@ func redFixup3(pool *sched.Pool, x, b, r *grid.Grid, inv float64) {
 // leaves r = b − T·x (post-sweep) with a zeroed boundary. x is bit-identical
 // to sorSweepRB3; r matches residual3 bit-identically at red (i+j+k even)
 // points and to rounding error at black points.
-func smoothResidual3(pool *sched.Pool, x, b, r *grid.Grid, h, omega float64) {
+func smoothResidual3[T grid.Float](pool *sched.Pool, x, b, r *grid.G[T], h, omega T) {
 	h2 := h * h
 	inv := 1 / h2
 	r.ZeroBoundary()
@@ -124,7 +124,7 @@ func smoothResidual3(pool *sched.Pool, x, b, r *grid.Grid, h, omega float64) {
 // gatherFixup3 completes a residual grid emitted by the two half-sweeps in
 // place, reading only r: r_red += κ·Σ over the six black neighbours'
 // stored residuals, κ = ω/(6·(1−ω)) (see the 2D gatherFixup).
-func gatherFixup3(pool *sched.Pool, r *grid.Grid, kappa float64) {
+func gatherFixup3[T grid.Float](pool *sched.Pool, r *grid.G[T], kappa T) {
 	n := r.N()
 	parallelPlanes(pool, n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -148,7 +148,7 @@ func gatherFixup3(pool *sched.Pool, r *grid.Grid, kappa float64) {
 // reading r alone; near ω = 1 red residuals are evaluated directly from
 // (x, b). Either way r ends up holding the full post-sweep residual, and
 // the separable restriction (transfer.RestrictSep3) consumes it.
-func smoothResidualRestrict3(pool *sched.Pool, coarse, x, b, r *grid.Grid, h, omega float64) {
+func smoothResidualRestrict3[T grid.Float](pool *sched.Pool, coarse, x, b, r *grid.G[T], h, omega T) {
 	h2 := h * h
 	inv := 1 / h2
 	rFac := 6 * (1 - omega) * inv
@@ -165,7 +165,7 @@ func smoothResidualRestrict3(pool *sched.Pool, coarse, x, b, r *grid.Grid, h, om
 
 // sweepWithNorm3 performs one full red-black SOR sweep in place on x and
 // returns ‖b − T·x‖₂ over interior points after the sweep.
-func sweepWithNorm3(pool *sched.Pool, x, b *grid.Grid, h, omega float64) float64 {
+func sweepWithNorm3[T grid.Float](pool *sched.Pool, x, b *grid.G[T], h, omega T) float64 {
 	h2 := h * h
 	inv := 1 / h2
 	redHalfSweep3(pool, x, b, h2, omega)
@@ -175,7 +175,7 @@ func sweepWithNorm3(pool *sched.Pool, x, b *grid.Grid, h, omega float64) float64
 // finishSweepNorm3 completes a 3D sweep whose red half is already done:
 // black half-sweep with delta-derived norm accumulation, then the red norm
 // half-pass. Shared by sweepWithNorm3 and the fused upstroke.
-func finishSweepNorm3(pool *sched.Pool, x, b *grid.Grid, h2, inv, omega, rFac float64) float64 {
+func finishSweepNorm3[T grid.Float](pool *sched.Pool, x, b *grid.G[T], h2, inv, omega, rFac T) float64 {
 	n := x.N()
 	sums := make([]float64, n)
 	parallelPlanes(pool, n, func(lo, hi int) {
@@ -192,7 +192,7 @@ func finishSweepNorm3(pool *sched.Pool, x, b *grid.Grid, h2, inv, omega, rFac fl
 					gs := (up[k] + down[k] + north[k] + south[k] + xr[k-1] + xr[k+1] + h2*br[k]) * (1.0 / 6.0)
 					d := gs - xr[k]
 					xr[k] += omega * d
-					rb := rFac * d
+					rb := float64(rFac * d)
 					s += rb * rb
 				}
 			}
@@ -210,7 +210,7 @@ func finishSweepNorm3(pool *sched.Pool, x, b *grid.Grid, h2, inv, omega, rFac fl
 				south := x.Row3(i, j+1)
 				br := b.Row3(i, j)
 				for k := 1 + (i+j+1)%2; k < n-1; k += 2 {
-					rv := br[k] - (6*xr[k]-up[k]-down[k]-north[k]-south[k]-xr[k-1]-xr[k+1])*inv
+					rv := float64(br[k] - (6*xr[k]-up[k]-down[k]-north[k]-south[k]-xr[k-1]-xr[k+1])*inv)
 					s += rv * rv
 				}
 			}
@@ -222,7 +222,7 @@ func finishSweepNorm3(pool *sched.Pool, x, b *grid.Grid, h2, inv, omega, rFac fl
 
 // residualNormPar3 is the pool-parallel, deterministically chunked
 // counterpart of residualNorm3.
-func residualNormPar3(pool *sched.Pool, x, b *grid.Grid, h float64) float64 {
+func residualNormPar3[T grid.Float](pool *sched.Pool, x, b *grid.G[T], h T) float64 {
 	n := x.N()
 	inv := 1 / (h * h)
 	sums := make([]float64, n)
@@ -237,7 +237,7 @@ func residualNormPar3(pool *sched.Pool, x, b *grid.Grid, h float64) float64 {
 				south := x.Row3(i, j+1)
 				br := b.Row3(i, j)
 				for k := 1; k < n-1; k++ {
-					r := br[k] - (6*xr[k]-up[k]-down[k]-north[k]-south[k]-xr[k-1]-xr[k+1])*inv
+					r := float64(br[k] - (6*xr[k]-up[k]-down[k]-north[k]-south[k]-xr[k-1]-xr[k+1])*inv)
 					s += r * r
 				}
 			}
@@ -250,9 +250,9 @@ func residualNormPar3(pool *sched.Pool, x, b *grid.Grid, h float64) float64 {
 // residualPlane3 returns a provider computing interior fine residual planes
 // of the 3D Laplacian for transfer.RestrictResidual3, matching residual3's
 // per-point expression bit for bit.
-func residualPlane3(x, b *grid.Grid, inv float64) func(fi int, dst []float64) {
+func residualPlane3[T grid.Float](x, b *grid.G[T], inv T) func(fi int, dst []T) {
 	n := x.N()
-	return func(fi int, dst []float64) {
+	return func(fi int, dst []T) {
 		for k := 0; k < n; k++ {
 			dst[k], dst[(n-1)*n+k] = 0, 0
 		}

@@ -1,0 +1,159 @@
+package stencil
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pbmg/internal/grid"
+)
+
+// FuzzF32MatchesF64 checks the mixed-precision invariant behind the f32
+// storage path: for every operator family, running the red-black SOR sweep
+// and the residual kernel in float32 storage must agree with the float64
+// kernels to within an analytic rounding bound. The kernels are the same
+// generic code instantiated at two precisions, so the only divergence is
+// floating-point rounding — a parity bug, a wrongly-cast coefficient, or a
+// stale f32 coefficient mirror all blow past the bound immediately.
+//
+// The bound: one relaxation update is O(10) flops on operands converted
+// with one rounding each, so its forward error is a small multiple of
+// eps32·scale (eps32 = 2⁻²³ for a result within [1,2), used here as the
+// conservative unit roundoff of float32). Within one red-black sweep the
+// black half-sweep reads updated red points (dependency depth 2), and k
+// sweeps deepen the chain linearly, so sweeps·64·eps32·scale holds with a
+// wide margin; the factor 64 absorbs the per-update flop count, the depth,
+// and the aniso/varcoef coefficient weightings, which are normalized so an
+// update never amplifies its operands.
+func FuzzF32MatchesF64(f *testing.F) {
+	f.Add(int64(1), uint8(0), 1.0)
+	f.Add(int64(2), uint8(1), 0.01)
+	f.Add(int64(3), uint8(2), 2.0)
+	f.Add(int64(4), uint8(1), 77.7)
+	const (
+		n2d    = 129 // the 2D acceptance size: parallel and split gates engage
+		n3d    = 33  // the 3D acceptance size
+		sweeps = 2
+		eps32  = 1.0 / (1 << 23)
+	)
+	f.Fuzz(func(t *testing.T, seed int64, famSel uint8, epsRaw float64) {
+		rng := rand.New(rand.NewSource(seed))
+		op2 := fuzzOperator(n2d, famSel, epsRaw, seed)
+		x2, b2 := randomState(n2d, rng)
+		checkF32MatchesF64(t, op2, x2, b2, sweeps, eps32)
+
+		op3 := Poisson3D()
+		x3, b3 := randomState3(n3d, rng)
+		checkF32MatchesF64(t, op3, x3, b3, sweeps, eps32)
+	})
+}
+
+// TestF32SweepParallelBitIdentical is the reduced-precision edition of the
+// parallel==serial invariant: red-black coloring makes every update within
+// a phase independent, so worker count must not change a single bit of the
+// float32 result either — at f32 a scheduling-dependent reassociation would
+// be even easier to miss behind rounding, so the check is exact, not banded.
+func TestF32SweepParallelBitIdentical(t *testing.T) {
+	pool := sharedPool()
+	cases := []struct {
+		op  *Operator
+		n   int
+		dim int
+	}{
+		{Poisson(), 129, 2},
+		{Anisotropic(0.01), 129, 2},
+		{VarCoefOperator(CoefField(129, 2), 2), 129, 2},
+		{Poisson3D(), 33, 3},
+	}
+	for _, tc := range cases {
+		rng := rand.New(rand.NewSource(7))
+		x0 := grid.NewOf[float32](tc.dim, tc.n)
+		b := grid.NewOf[float32](tc.dim, tc.n)
+		x64 := grid.NewDim(tc.dim, tc.n)
+		b64 := grid.NewDim(tc.dim, tc.n)
+		grid.FillRandom(x64, grid.Unbiased, rng)
+		grid.FillRandom(b64, grid.Unbiased, rng)
+		grid.ConvertInto(x0, x64)
+		grid.ConvertInto(b, b64)
+		h := float32(1.0 / float64(tc.n-1))
+		const omega = float32(1.15)
+
+		xs, xp := x0.Clone(), x0.Clone()
+		for s := 0; s < 2; s++ {
+			OpSORSweepRB(tc.op, nil, xs, b, h, omega)
+			OpSORSweepRB(tc.op, pool, xp, b, h, omega)
+		}
+		sd, pd := xs.Data(), xp.Data()
+		for k := range sd {
+			if math.Float32bits(sd[k]) != math.Float32bits(pd[k]) {
+				t.Fatalf("%v n=%d: f32 serial and pooled sweeps differ at %d: %x vs %x",
+					tc.op, tc.n, k, math.Float32bits(sd[k]), math.Float32bits(pd[k]))
+			}
+		}
+	}
+}
+
+// checkF32MatchesF64 runs the same sweeps+residual at both precisions and
+// asserts the pointwise divergence stays inside the rounding bound.
+func checkF32MatchesF64(t *testing.T, op *Operator, x0, b *grid.Grid, sweeps int, eps32 float64) {
+	t.Helper()
+	n := x0.N()
+	dim := x0.Dim()
+	h := 1.0 / float64(n-1)
+	const omega = 1.2
+
+	x64 := x0.Clone()
+	x32 := grid.NewOf[float32](dim, n)
+	b32 := grid.NewOf[float32](dim, n)
+	grid.ConvertInto(x32, x0)
+	grid.ConvertInto(b32, b)
+	h32, omega32 := float32(h), float32(omega)
+
+	for s := 0; s < sweeps; s++ {
+		OpSORSweepRB(op, nil, x64, b, h, omega)
+		OpSORSweepRB(op, nil, x32, b32, h32, omega32)
+	}
+
+	scale := 1.0
+	for _, v := range x64.Data() {
+		scale = math.Max(scale, math.Abs(v))
+	}
+	for _, v := range b.Data() {
+		scale = math.Max(scale, math.Abs(v))
+	}
+	tol := float64(sweeps) * 64 * eps32 * scale
+
+	d32 := x32.Data()
+	for k, want := range x64.Data() {
+		if diff := math.Abs(float64(d32[k]) - want); diff > tol {
+			t.Fatalf("%v n=%d: f32 sweep diverged at %d: f32 %v vs f64 %v (diff %g > bound %g)",
+				op, n, k, d32[k], want, diff, tol)
+		}
+	}
+
+	// The residual kernel at f32 must match the f64 residual evaluated on
+	// the SAME f32 state (converted up): comparing against the f64 state's
+	// residual would fold in the sweeps' state divergence amplified by the
+	// operator's 1/h² — an error of the states, not of the kernel. The
+	// bound is absolute against the residual's operand scale (b and A·x ≈
+	// b − r are the terms that cancel), since a relative bound on a
+	// near-zero r would be wrong.
+	xf := grid.NewDim(dim, n)
+	grid.ConvertInto(xf, x32)
+	r64 := grid.NewDim(dim, n)
+	r32 := grid.NewOf[float32](dim, n)
+	OpResidual(op, nil, r64, xf, b, h)
+	OpResidual(op, nil, r32, x32, b32, h32)
+	rscale := scale
+	for _, v := range r64.Data() {
+		rscale = math.Max(rscale, math.Abs(v))
+	}
+	rtol := 64 * eps32 * 2 * rscale
+	rd := r32.Data()
+	for k, want := range r64.Data() {
+		if diff := math.Abs(float64(rd[k]) - want); diff > rtol {
+			t.Fatalf("%v n=%d: f32 residual diverged at %d: f32 %v vs f64 %v (diff %g > bound %g)",
+				op, n, k, rd[k], want, diff, rtol)
+		}
+	}
+}

@@ -116,6 +116,17 @@ type Operator struct {
 	// sweeps pack it once per operator instead of once per solve.
 	splitCoefOnce sync.Once
 	splitCoef     *grid.Split
+
+	// coef32 memoizes the coefficient field converted to float32
+	// (FamilyVarCoef only), so the mixed-precision kernels read a
+	// half-width field instead of converting per sweep.
+	coef32Once sync.Once
+	coef32     *grid.Grid32
+
+	// splitCoef32 memoizes the float32 field in color-split layout for the
+	// mixed-precision unit-stride sweeps.
+	splitCoef32Once sync.Once
+	splitCoef32     *grid.Split32
 }
 
 var poissonOp = &Operator{family: FamilyPoisson, eps: 1}
@@ -214,6 +225,32 @@ func (op *Operator) Eps() float64 { return op.eps }
 // Coef returns the nodal coefficient field, or nil for constant-coefficient
 // families.
 func (op *Operator) Coef() *grid.Grid { return op.coef }
+
+// Coef32 returns the nodal coefficient field converted to float32, or nil
+// for constant-coefficient families. The conversion is computed once per
+// operator and shared.
+func (op *Operator) Coef32() *grid.Grid32 {
+	if op.coef == nil {
+		return nil
+	}
+	op.coef32Once.Do(func() {
+		c := grid.NewOf[float32](op.coef.Dim(), op.coef.N())
+		grid.ConvertInto(c, op.coef)
+		op.coef32 = c
+	})
+	return op.coef32
+}
+
+// opCoef resolves the operator's coefficient field at the kernel's storage
+// precision: the original field for float64, the memoized converted copy
+// for float32.
+func opCoef[T grid.Float](op *Operator) *grid.G[T] {
+	var z T
+	if _, is32 := any(z).(float32); is32 {
+		return any(op.Coef32()).(*grid.G[T])
+	}
+	return any(op.coef).(*grid.G[T])
+}
 
 // String names the operator with its parameter, e.g. "aniso(eps=0.01)".
 func (op *Operator) String() string {
@@ -337,16 +374,22 @@ func (op *Operator) checkSize(n int) {
 // See the package-level SORSweepRB for the coloring contract; all families
 // share it, so parallel execution stays bit-identical to serial.
 func (op *Operator) SORSweepRB(pool *sched.Pool, x, b *grid.Grid, h, omega float64) {
+	OpSORSweepRB(op, pool, x, b, h, omega)
+}
+
+// OpSORSweepRB is the precision-generic red-black SOR sweep: one full sweep
+// for op, in place on a grid of either storage precision.
+func OpSORSweepRB[T grid.Float](op *Operator, pool *sched.Pool, x, b *grid.G[T], h, omega T) {
 	switch op.family {
 	case FamilyPoisson:
 		SORSweepRB(pool, x, b, h, omega)
 	case FamilyPoisson3D:
 		sorSweepRB3(pool, x, b, h, omega)
 	case FamilyAnisotropic:
-		sorSweepRBConst(pool, x, b, h, omega, op.eps, 1)
+		sorSweepRBConst(pool, x, b, h, omega, T(op.eps), 1)
 	default:
 		op.checkSize(x.N())
-		sorSweepRBVar(pool, x, b, h, omega, op.coef)
+		sorSweepRBVar(pool, x, b, h, omega, opCoef[T](op))
 	}
 }
 
@@ -356,6 +399,12 @@ func (op *Operator) SORSweepRB(pool *sched.Pool, x, b *grid.Grid, h, omega float
 // solve path smooths with red-black SOR. The per-point FaceCoefs lookup is
 // acceptable here for the same reason.
 func (op *Operator) GaussSeidelSweep(x, b *grid.Grid, h float64) {
+	OpGaussSeidelSweep(op, x, b, h)
+}
+
+// OpGaussSeidelSweep is the precision-generic lexicographic Gauss-Seidel
+// sweep for op.
+func OpGaussSeidelSweep[T grid.Float](op *Operator, x, b *grid.G[T], h T) {
 	if op.family == FamilyPoisson {
 		GaussSeidelSweep(x, b, h)
 		return
@@ -367,13 +416,35 @@ func (op *Operator) GaussSeidelSweep(x, b *grid.Grid, h float64) {
 	op.checkSize(x.N())
 	n := x.N()
 	h2 := h * h
+	if op.family == FamilyAnisotropic {
+		cx, cy := T(op.eps), T(1)
+		invC := 1 / (2 * (cx + cy))
+		for i := 1; i < n-1; i++ {
+			xr := x.Row(i)
+			up := x.Row(i - 1)
+			down := x.Row(i + 1)
+			br := b.Row(i)
+			for j := 1; j < n-1; j++ {
+				xr[j] = (cy*(up[j]+down[j]) + cx*(xr[j-1]+xr[j+1]) + h2*br[j]) * invC
+			}
+		}
+		return
+	}
+	c := opCoef[T](op)
 	for i := 1; i < n-1; i++ {
 		xr := x.Row(i)
 		up := x.Row(i - 1)
 		down := x.Row(i + 1)
 		br := b.Row(i)
+		cr := c.Row(i)
+		cu := c.Row(i - 1)
+		cd := c.Row(i + 1)
 		for j := 1; j < n-1; j++ {
-			cn, cs, cw, ce := op.FaceCoefs(i, j)
+			cc := cr[j]
+			cn := 0.5 * (cc + cu[j])
+			cs := 0.5 * (cc + cd[j])
+			cw := 0.5 * (cc + cr[j-1])
+			ce := 0.5 * (cc + cr[j+1])
 			xr[j] = (cn*up[j] + cs*down[j] + cw*xr[j-1] + ce*xr[j+1] + h2*br[j]) / (cn + cs + cw + ce)
 		}
 	}
@@ -382,6 +453,11 @@ func (op *Operator) GaussSeidelSweep(x, b *grid.Grid, h float64) {
 // JacobiSweep performs one weighted-Jacobi sweep for the operator, reading
 // from x and writing into out (boundary copied from x). out must not alias x.
 func (op *Operator) JacobiSweep(pool *sched.Pool, out, x, b *grid.Grid, h, w float64) {
+	OpJacobiSweep(op, pool, out, x, b, h, w)
+}
+
+// OpJacobiSweep is the precision-generic weighted-Jacobi sweep for op.
+func OpJacobiSweep[T grid.Float](op *Operator, pool *sched.Pool, out, x, b *grid.G[T], h, w T) {
 	switch op.family {
 	case FamilyPoisson:
 		JacobiSweep(pool, out, x, b, h, w)
@@ -390,11 +466,11 @@ func (op *Operator) JacobiSweep(pool *sched.Pool, out, x, b *grid.Grid, h, w flo
 		jacobiSweep3(pool, out, x, b, h, w)
 		return
 	case FamilyAnisotropic:
-		jacobiSweepConst(pool, out, x, b, h, w, op.eps, 1)
+		jacobiSweepConst(pool, out, x, b, h, w, T(op.eps), 1)
 		return
 	}
 	op.checkSize(x.N())
-	c := op.coef
+	c := opCoef[T](op)
 	n := x.N()
 	h2 := h * h
 	out.CopyBoundaryFrom(x)
@@ -423,7 +499,7 @@ func (op *Operator) JacobiSweep(pool *sched.Pool, out, x, b *grid.Grid, h, w flo
 
 // jacobiSweepConst is the weighted-Jacobi sweep for a constant-coefficient
 // stencil with horizontal weight cx and vertical weight cy.
-func jacobiSweepConst(pool *sched.Pool, out, x, b *grid.Grid, h, w, cx, cy float64) {
+func jacobiSweepConst[T grid.Float](pool *sched.Pool, out, x, b *grid.G[T], h, w, cx, cy T) {
 	n := x.N()
 	h2 := h * h
 	invC := 1 / (2 * (cx + cy))
@@ -446,22 +522,32 @@ func jacobiSweepConst(pool *sched.Pool, out, x, b *grid.Grid, h, w, cx, cy float
 // Residual computes r = b − T·x on interior points and zeroes r's boundary.
 // r must not alias x or b.
 func (op *Operator) Residual(pool *sched.Pool, r, x, b *grid.Grid, h float64) {
+	OpResidual(op, pool, r, x, b, h)
+}
+
+// OpResidual is the precision-generic residual r = b − T·x for op.
+func OpResidual[T grid.Float](op *Operator, pool *sched.Pool, r, x, b *grid.G[T], h T) {
 	switch op.family {
 	case FamilyPoisson:
 		Residual(pool, r, x, b, h)
 	case FamilyPoisson3D:
 		residual3(pool, r, x, b, h)
 	case FamilyAnisotropic:
-		residualConst(pool, r, x, b, h, op.eps, 1)
+		residualConst(pool, r, x, b, h, T(op.eps), 1)
 	default:
 		op.checkSize(x.N())
-		residualVar(pool, r, x, b, h, op.coef)
+		residualVar(pool, r, x, b, h, opCoef[T](op))
 	}
 }
 
 // Apply computes y = T·x on interior points and zeroes y's boundary.
 // y must not alias x.
 func (op *Operator) Apply(pool *sched.Pool, y, x *grid.Grid, h float64) {
+	OpApply(op, pool, y, x, h)
+}
+
+// OpApply is the precision-generic operator apply y = T·x for op.
+func OpApply[T grid.Float](op *Operator, pool *sched.Pool, y, x *grid.G[T], h T) {
 	switch op.family {
 	case FamilyPoisson:
 		Apply(pool, y, x, h)
@@ -470,11 +556,11 @@ func (op *Operator) Apply(pool *sched.Pool, y, x *grid.Grid, h float64) {
 		apply3(pool, y, x, h)
 		return
 	case FamilyAnisotropic:
-		applyConst(pool, y, x, h, op.eps, 1)
+		applyConst(pool, y, x, h, T(op.eps), 1)
 		return
 	}
 	op.checkSize(x.N())
-	c := op.coef
+	c := opCoef[T](op)
 	n := x.N()
 	inv := 1 / (h * h)
 	y.ZeroBoundary()
@@ -500,7 +586,7 @@ func (op *Operator) Apply(pool *sched.Pool, y, x *grid.Grid, h float64) {
 }
 
 // applyConst computes y = T·x for a constant-coefficient stencil.
-func applyConst(pool *sched.Pool, y, x *grid.Grid, h, cx, cy float64) {
+func applyConst[T grid.Float](pool *sched.Pool, y, x *grid.G[T], h, cx, cy T) {
 	n := x.N()
 	inv := 1 / (h * h)
 	center := 2 * (cx + cy)
@@ -523,16 +609,23 @@ func applyConst(pool *sched.Pool, y, x *grid.Grid, h, cx, cy float64) {
 // them in index order, so the result is run-to-run deterministic and
 // identical for a nil pool and any worker count.
 func (op *Operator) ResidualNorm(pool *sched.Pool, x, b *grid.Grid, h float64) float64 {
+	return OpResidualNorm(op, pool, x, b, h)
+}
+
+// OpResidualNorm is the precision-generic residual norm for op. The partial
+// sums accumulate in float64 regardless of the storage precision, so
+// convergence accounting on the float32 path stays trustworthy.
+func OpResidualNorm[T grid.Float](op *Operator, pool *sched.Pool, x, b *grid.G[T], h T) float64 {
 	switch op.family {
 	case FamilyPoisson:
 		return residualNormPar(pool, x, b, h)
 	case FamilyPoisson3D:
 		return residualNormPar3(pool, x, b, h)
 	case FamilyAnisotropic:
-		return residualNormParConst(pool, x, b, h, op.eps, 1)
+		return residualNormParConst(pool, x, b, h, T(op.eps), 1)
 	default:
 		op.checkSize(x.N())
-		return residualNormParVar(pool, x, b, h, op.coef)
+		return residualNormParVar(pool, x, b, h, opCoef[T](op))
 	}
 }
 
@@ -544,16 +637,21 @@ func (op *Operator) ResidualNorm(pool *sched.Pool, x, b *grid.Grid, h float64) f
 // the unfused Residual bit-identically at red points and to rounding error
 // at black points. r must not alias x or b.
 func (op *Operator) SmoothResidual(pool *sched.Pool, x, b, r *grid.Grid, h, omega float64) {
+	OpSmoothResidual(op, pool, x, b, r, h, omega)
+}
+
+// OpSmoothResidual is the precision-generic fused sweep + residual for op.
+func OpSmoothResidual[T grid.Float](op *Operator, pool *sched.Pool, x, b, r *grid.G[T], h, omega T) {
 	switch op.family {
 	case FamilyPoisson:
 		SmoothResidual(pool, x, b, r, h, omega)
 	case FamilyPoisson3D:
 		smoothResidual3(pool, x, b, r, h, omega)
 	case FamilyAnisotropic:
-		smoothResidualConst(pool, x, b, r, h, omega, op.eps, 1)
+		smoothResidualConst(pool, x, b, r, h, omega, T(op.eps), 1)
 	default:
 		op.checkSize(x.N())
-		smoothResidualVar(pool, x, b, r, h, omega, op.coef)
+		smoothResidualVar(pool, x, b, r, h, omega, opCoef[T](op))
 	}
 }
 
@@ -562,16 +660,22 @@ func (op *Operator) SmoothResidual(pool *sched.Pool, x, b, r *grid.Grid, h, omeg
 // convergence check's residual traversal into the smoothing pass. The
 // reduction uses the same deterministic fixed-chunk scheme as ResidualNorm.
 func (op *Operator) SweepWithNorm(pool *sched.Pool, x, b *grid.Grid, h, omega float64) float64 {
+	return OpSweepWithNorm(op, pool, x, b, h, omega)
+}
+
+// OpSweepWithNorm is the precision-generic fused sweep + post-sweep residual
+// norm for op (norm accumulated in float64).
+func OpSweepWithNorm[T grid.Float](op *Operator, pool *sched.Pool, x, b *grid.G[T], h, omega T) float64 {
 	switch op.family {
 	case FamilyPoisson:
 		return SweepWithNorm(pool, x, b, h, omega)
 	case FamilyPoisson3D:
 		return sweepWithNorm3(pool, x, b, h, omega)
 	case FamilyAnisotropic:
-		return sweepWithNormConst(pool, x, b, h, omega, op.eps, 1)
+		return sweepWithNormConst(pool, x, b, h, omega, T(op.eps), 1)
 	default:
 		op.checkSize(x.N())
-		return sweepWithNormVar(pool, x, b, h, omega, op.coef)
+		return sweepWithNormVar(pool, x, b, h, omega, opCoef[T](op))
 	}
 }
 
@@ -586,16 +690,22 @@ func (op *Operator) SweepWithNorm(pool *sched.Pool, x, b *grid.Grid, h, omega fl
 // to floating-point association (≤1e-12 of the data scale). r must not
 // alias x, b, or coarse.
 func (op *Operator) SmoothResidualRestrict(pool *sched.Pool, coarse, x, b, r *grid.Grid, h, omega float64) {
+	OpSmoothResidualRestrict(op, pool, coarse, x, b, r, h, omega)
+}
+
+// OpSmoothResidualRestrict is the precision-generic fused V-cycle
+// downstroke for op.
+func OpSmoothResidualRestrict[T grid.Float](op *Operator, pool *sched.Pool, coarse, x, b, r *grid.G[T], h, omega T) {
 	switch op.family {
 	case FamilyPoisson:
 		smoothResidualRestrict(pool, coarse, x, b, r, h, omega)
 	case FamilyPoisson3D:
 		smoothResidualRestrict3(pool, coarse, x, b, r, h, omega)
 	case FamilyAnisotropic:
-		smoothResidualRestrictConst(pool, coarse, x, b, r, h, omega, op.eps, 1)
+		smoothResidualRestrictConst(pool, coarse, x, b, r, h, omega, T(op.eps), 1)
 	default:
 		op.checkSize(x.N())
-		smoothResidualRestrictVar(pool, coarse, x, b, r, h, omega, op.coef)
+		smoothResidualRestrictVar(pool, coarse, x, b, r, h, omega, opCoef[T](op))
 	}
 }
 
@@ -606,6 +716,12 @@ func (op *Operator) SmoothResidualRestrict(pool *sched.Pool, coarse, x, b, r *gr
 // followed by transfer.Restrict to floating-point association (the
 // restriction weights are applied separably).
 func (op *Operator) ResidualRestrict(pool *sched.Pool, coarse, x, b *grid.Grid, h float64) {
+	OpResidualRestrict(op, pool, coarse, x, b, h)
+}
+
+// OpResidualRestrict is the precision-generic fused residual + restriction
+// for op.
+func OpResidualRestrict[T grid.Float](op *Operator, pool *sched.Pool, coarse, x, b *grid.G[T], h T) {
 	inv := 1 / (h * h)
 	switch op.family {
 	case FamilyPoisson:
@@ -613,15 +729,15 @@ func (op *Operator) ResidualRestrict(pool *sched.Pool, coarse, x, b *grid.Grid, 
 	case FamilyPoisson3D:
 		transfer.RestrictResidual3(pool, coarse, x.N(), residualPlane3(x, b, inv))
 	case FamilyAnisotropic:
-		transfer.RestrictResidual(pool, coarse, x.N(), residualRowConst(x, b, inv, op.eps, 1))
+		transfer.RestrictResidual(pool, coarse, x.N(), residualRowConst(x, b, inv, T(op.eps), 1))
 	default:
 		op.checkSize(x.N())
-		transfer.RestrictResidual(pool, coarse, x.N(), residualRowVar(x, b, inv, op.coef))
+		transfer.RestrictResidual(pool, coarse, x.N(), residualRowVar(x, b, inv, opCoef[T](op)))
 	}
 }
 
 // residualNormConst returns ‖b − T·x‖₂ for a constant-coefficient stencil.
-func residualNormConst(x, b *grid.Grid, h, cx, cy float64) float64 {
+func residualNormConst[T grid.Float](x, b *grid.G[T], h, cx, cy T) float64 {
 	n := x.N()
 	inv := 1 / (h * h)
 	center := 2 * (cx + cy)
@@ -632,7 +748,7 @@ func residualNormConst(x, b *grid.Grid, h, cx, cy float64) float64 {
 		down := x.Row(i + 1)
 		br := b.Row(i)
 		for j := 1; j < n-1; j++ {
-			r := br[j] - (center*xr[j]-cy*(up[j]+down[j])-cx*(xr[j-1]+xr[j+1]))*inv
+			r := float64(br[j] - (center*xr[j]-cy*(up[j]+down[j])-cx*(xr[j-1]+xr[j+1]))*inv)
 			sum += r * r
 		}
 	}
@@ -641,7 +757,7 @@ func residualNormConst(x, b *grid.Grid, h, cx, cy float64) float64 {
 
 // sorSweepRBConst is the red-black SOR sweep for a constant-coefficient
 // stencil with horizontal weight cx and vertical weight cy.
-func sorSweepRBConst(pool *sched.Pool, x, b *grid.Grid, h, omega, cx, cy float64) {
+func sorSweepRBConst[T grid.Float](pool *sched.Pool, x, b *grid.G[T], h, omega, cx, cy T) {
 	n := x.N()
 	h2 := h * h
 	invC := 1 / (2 * (cx + cy))
@@ -663,7 +779,7 @@ func sorSweepRBConst(pool *sched.Pool, x, b *grid.Grid, h, omega, cx, cy float64
 }
 
 // residualConst computes the residual for a constant-coefficient stencil.
-func residualConst(pool *sched.Pool, r, x, b *grid.Grid, h, cx, cy float64) {
+func residualConst[T grid.Float](pool *sched.Pool, r, x, b *grid.G[T], h, cx, cy T) {
 	n := x.N()
 	inv := 1 / (h * h)
 	center := 2 * (cx + cy)
@@ -684,7 +800,7 @@ func residualConst(pool *sched.Pool, r, x, b *grid.Grid, h, cx, cy float64) {
 
 // sorSweepRBVar is the red-black SOR sweep for a variable-coefficient
 // stencil with nodal field c (face coefficients are arithmetic averages).
-func sorSweepRBVar(pool *sched.Pool, x, b *grid.Grid, h, omega float64, c *grid.Grid) {
+func sorSweepRBVar[T grid.Float](pool *sched.Pool, x, b *grid.G[T], h, omega T, c *grid.G[T]) {
 	n := x.N()
 	h2 := h * h
 	for color := 0; color <= 1; color++ {
@@ -713,7 +829,7 @@ func sorSweepRBVar(pool *sched.Pool, x, b *grid.Grid, h, omega float64, c *grid.
 }
 
 // residualVar computes the residual for a variable-coefficient stencil.
-func residualVar(pool *sched.Pool, r, x, b *grid.Grid, h float64, c *grid.Grid) {
+func residualVar[T grid.Float](pool *sched.Pool, r, x, b *grid.G[T], h T, c *grid.G[T]) {
 	n := x.N()
 	inv := 1 / (h * h)
 	r.ZeroBoundary()

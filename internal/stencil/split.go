@@ -38,21 +38,31 @@ import (
 // traffic; recycling makes the split path's overhead just the pack/unpack
 // copies. Stale entries in a recycled Split are harmless: Pack overwrites
 // every slot the sweeps and Unpack read.
-var splitScratch sync.Map // [2]int{dim, n} -> *sync.Pool of *grid.Split
+var splitScratch sync.Map // [3]int{dim, n, bits} -> *sync.Pool of *grid.SplitG[T]
 
-func getSplit(dim, n int) *grid.Split {
-	key := [2]int{dim, n}
+// floatBits reports the storage width of T (32 or 64), the precision tag in
+// scratch-pool keys.
+func floatBits[T grid.Float]() int {
+	var z T
+	if _, is32 := any(z).(float32); is32 {
+		return 32
+	}
+	return 64
+}
+
+func getSplit[T grid.Float](dim, n int) *grid.SplitG[T] {
+	key := [3]int{dim, n, floatBits[T]()}
 	p, ok := splitScratch.Load(key)
 	if !ok {
 		p, _ = splitScratch.LoadOrStore(key, &sync.Pool{New: func() any {
-			return grid.NewSplit(dim, n)
+			return grid.NewSplitOf[T](dim, n)
 		}})
 	}
-	return p.(*sync.Pool).Get().(*grid.Split)
+	return p.(*sync.Pool).Get().(*grid.SplitG[T])
 }
 
-func putSplit(s *grid.Split) {
-	key := [2]int{s.Dim(), s.N()}
+func putSplit[T grid.Float](s *grid.SplitG[T]) {
+	key := [3]int{s.Dim(), s.N(), floatBits[T]()}
 	if p, ok := splitScratch.Load(key); ok {
 		p.(*sync.Pool).Put(s)
 	}
@@ -96,22 +106,27 @@ func SplitWorthwhile(dim, n, sweeps int) bool {
 // strided SORSweepRB loop otherwise. The iterate is bit-identical either
 // way.
 func (op *Operator) SORSweeps(pool *sched.Pool, x, b *grid.Grid, h, omega float64, sweeps int) {
+	OpSORSweeps(op, pool, x, b, h, omega, sweeps)
+}
+
+// OpSORSweeps is the precision-generic edition of Operator.SORSweeps.
+func OpSORSweeps[T grid.Float](op *Operator, pool *sched.Pool, x, b *grid.G[T], h, omega T, sweeps int) {
 	if !SplitWorthwhile(x.Dim(), x.N(), sweeps) {
 		for s := 0; s < sweeps; s++ {
-			op.SORSweepRB(pool, x, b, h, omega)
+			OpSORSweepRB(op, pool, x, b, h, omega)
 		}
 		return
 	}
-	op.sorSweepsSplit(pool, x, b, h, omega, sweeps)
+	sorSweepsSplit(op, pool, x, b, h, omega, sweeps)
 }
 
 // sorSweepsSplit is the color-split path: pack x and b, sweep unit-stride,
 // unpack x. The sweeps never write boundary entries, so the unpack restores
 // x's boundary bit-identically from the pack.
-func (op *Operator) sorSweepsSplit(pool *sched.Pool, x, b *grid.Grid, h, omega float64, sweeps int) {
+func sorSweepsSplit[T grid.Float](op *Operator, pool *sched.Pool, x, b *grid.G[T], h, omega T, sweeps int) {
 	n, dim := x.N(), x.Dim()
-	sx := getSplit(dim, n)
-	sb := getSplit(dim, n)
+	sx := getSplit[T](dim, n)
+	sb := getSplit[T](dim, n)
 	defer putSplit(sx)
 	defer putSplit(sb)
 	sx.Pack(x)
@@ -123,10 +138,10 @@ func (op *Operator) sorSweepsSplit(pool *sched.Pool, x, b *grid.Grid, h, omega f
 	case FamilyPoisson3D:
 		splitSweeps3(pool, sx, sb, h2, omega, sweeps)
 	case FamilyAnisotropic:
-		splitSweepsConst(pool, sx, sb, h2, omega, op.eps, 1, sweeps)
+		splitSweepsConst(pool, sx, sb, h2, omega, T(op.eps), 1, sweeps)
 	default:
 		op.checkSize(n)
-		splitSweepsVar(pool, sx, sb, h2, omega, op.splitCoefField(), sweeps)
+		splitSweepsVar(pool, sx, sb, h2, omega, opSplitCoef[T](op), sweeps)
 	}
 	sx.Unpack(x)
 }
@@ -140,6 +155,27 @@ func (op *Operator) splitCoefField() *grid.Split {
 		op.splitCoef = s
 	})
 	return op.splitCoef
+}
+
+// splitCoefField32 is splitCoefField at float32, packed from the memoized
+// float32 coefficient grid.
+func (op *Operator) splitCoefField32() *grid.Split32 {
+	op.splitCoef32Once.Do(func() {
+		c := op.Coef32()
+		s := grid.NewSplitOf[float32](2, c.N())
+		s.Pack(c)
+		op.splitCoef32 = s
+	})
+	return op.splitCoef32
+}
+
+// opSplitCoef resolves the operator's split-packed coefficient field at the
+// requested precision.
+func opSplitCoef[T grid.Float](op *Operator) *grid.SplitG[T] {
+	if floatBits[T]() == 32 {
+		return any(op.splitCoefField32()).(*grid.SplitG[T])
+	}
+	return any(op.splitCoefField()).(*grid.SplitG[T])
 }
 
 // sweepSplit2 drives sweeps full sweeps from per-row red and black update
@@ -203,7 +239,7 @@ func sweepSplit3(pool *sched.Pool, n, sweeps int, red, black func(i int)) {
 // maps to column j = 2·jr+s, its in-row black neighbours live at jr−1+s and
 // jr+s, and its vertical neighbours (black, in rows of opposite parity) at
 // the same half-index jr — so every load in the inner loop is unit-stride.
-func splitSweepsPoisson(pool *sched.Pool, x, b *grid.Split, h2, omega float64, sweeps int) {
+func splitSweepsPoisson[T grid.Float](pool *sched.Pool, x, b *grid.SplitG[T], h2, omega T, sweeps int) {
 	n, w := x.N(), x.W()
 	red := func(i int) {
 		xr := x.Red(i)
@@ -249,7 +285,7 @@ func splitSweepsPoisson(pool *sched.Pool, x, b *grid.Split, h2, omega float64, s
 
 // splitSweepsConst runs unit-stride sweeps for a constant-coefficient
 // stencil (horizontal weight cx, vertical cy).
-func splitSweepsConst(pool *sched.Pool, x, b *grid.Split, h2, omega, cx, cy float64, sweeps int) {
+func splitSweepsConst[T grid.Float](pool *sched.Pool, x, b *grid.SplitG[T], h2, omega, cx, cy T, sweeps int) {
 	n, w := x.N(), x.W()
 	invC := 1 / (2 * (cx + cy))
 	red := func(i int) {
@@ -294,7 +330,7 @@ func splitSweepsConst(pool *sched.Pool, x, b *grid.Split, h2, omega, cx, cy floa
 // splitSweepsVar runs unit-stride sweeps for a variable-coefficient stencil;
 // c holds the nodal coefficient field in the same split layout, so the face
 // averages read it with the identical half-index arithmetic as x.
-func splitSweepsVar(pool *sched.Pool, x, b *grid.Split, h2, omega float64, c *grid.Split, sweeps int) {
+func splitSweepsVar[T grid.Float](pool *sched.Pool, x, b *grid.SplitG[T], h2, omega T, c *grid.SplitG[T], sweeps int) {
 	n, w := x.N(), x.W()
 	red := func(i int) {
 		xr := x.Red(i)
@@ -366,7 +402,7 @@ func splitSweepsVar(pool *sched.Pool, x, b *grid.Split, h2, omega float64, c *gr
 // splitSweeps3 runs unit-stride sweeps for the 3D 7-point Laplacian. Each
 // (i,j) pencil splits by k-parity s = (i+j)&1; the four cross-pencil
 // neighbours of a point are the opposite color at the same half-index.
-func splitSweeps3(pool *sched.Pool, x, b *grid.Split, h2, omega float64, sweeps int) {
+func splitSweeps3[T grid.Float](pool *sched.Pool, x, b *grid.SplitG[T], h2, omega T, sweeps int) {
 	n, w := x.N(), x.W()
 	red := func(i int) {
 		for j := 1; j < n-1; j++ {

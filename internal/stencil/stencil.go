@@ -48,7 +48,7 @@ func parallelRows(pool *sched.Pool, n int, body func(lo, hi int)) {
 // black half-sweep) in place on x with relaxation weight omega. Points are
 // colored by (i+j) parity; within a color all updates are independent, so
 // the sweep parallelizes deterministically.
-func SORSweepRB(pool *sched.Pool, x, b *grid.Grid, h, omega float64) {
+func SORSweepRB[T grid.Float](pool *sched.Pool, x, b *grid.G[T], h, omega T) {
 	n := x.N()
 	h2 := h * h
 	for color := 0; color <= 1; color++ {
@@ -70,7 +70,7 @@ func SORSweepRB(pool *sched.Pool, x, b *grid.Grid, h, omega float64) {
 
 // GaussSeidelSweep performs one lexicographic Gauss-Seidel sweep in place.
 // It is inherently sequential and provided for comparison and testing.
-func GaussSeidelSweep(x, b *grid.Grid, h float64) {
+func GaussSeidelSweep[T grid.Float](x, b *grid.G[T], h T) {
 	n := x.N()
 	h2 := h * h
 	for i := 1; i < n-1; i++ {
@@ -87,7 +87,7 @@ func GaussSeidelSweep(x, b *grid.Grid, h float64) {
 // JacobiSweep performs one weighted-Jacobi sweep with weight w, reading from
 // x and writing the relaxed iterate into out (boundary copied from x).
 // out must not alias x.
-func JacobiSweep(pool *sched.Pool, out, x, b *grid.Grid, h, w float64) {
+func JacobiSweep[T grid.Float](pool *sched.Pool, out, x, b *grid.G[T], h, w T) {
 	n := x.N()
 	h2 := h * h
 	out.CopyBoundaryFrom(x)
@@ -108,7 +108,7 @@ func JacobiSweep(pool *sched.Pool, out, x, b *grid.Grid, h, w float64) {
 
 // Residual computes r = b − T·x on interior points and zeroes r's boundary.
 // r must not alias x or b.
-func Residual(pool *sched.Pool, r, x, b *grid.Grid, h float64) {
+func Residual[T grid.Float](pool *sched.Pool, r, x, b *grid.G[T], h T) {
 	n := x.N()
 	inv := 1 / (h * h)
 	r.ZeroBoundary()
@@ -128,7 +128,7 @@ func Residual(pool *sched.Pool, r, x, b *grid.Grid, h float64) {
 
 // Apply computes y = T·x on interior points and zeroes y's boundary.
 // y must not alias x.
-func Apply(pool *sched.Pool, y, x *grid.Grid, h float64) {
+func Apply[T grid.Float](pool *sched.Pool, y, x *grid.G[T], h T) {
 	n := x.N()
 	inv := 1 / (h * h)
 	y.ZeroBoundary()
@@ -147,7 +147,7 @@ func Apply(pool *sched.Pool, y, x *grid.Grid, h float64) {
 
 // ResidualNorm returns ‖b − T·x‖₂ over interior points without allocating,
 // useful for convergence checks in reference solvers.
-func ResidualNorm(x, b *grid.Grid, h float64) float64 {
+func ResidualNorm[T grid.Float](x, b *grid.G[T], h T) float64 {
 	n := x.N()
 	inv := 1 / (h * h)
 	var sum float64
@@ -157,7 +157,7 @@ func ResidualNorm(x, b *grid.Grid, h float64) float64 {
 		down := x.Row(i + 1)
 		br := b.Row(i)
 		for j := 1; j < n-1; j++ {
-			r := br[j] - (4*xr[j]-up[j]-down[j]-xr[j-1]-xr[j+1])*inv
+			r := float64(br[j] - (4*xr[j]-up[j]-down[j]-xr[j-1]-xr[j+1])*inv)
 			sum += r * r
 		}
 	}

@@ -36,7 +36,7 @@ func parallelPlanes(pool *sched.Pool, n int, body func(lo, hi int)) {
 // black half-sweep) in place on x with relaxation weight omega. Points are
 // colored by (i+j+k) parity; within a color all updates are independent, so
 // the sweep parallelizes deterministically over planes.
-func sorSweepRB3(pool *sched.Pool, x, b *grid.Grid, h, omega float64) {
+func sorSweepRB3[T grid.Float](pool *sched.Pool, x, b *grid.G[T], h, omega T) {
 	n := x.N()
 	h2 := h * h
 	for color := 0; color <= 1; color++ {
@@ -63,7 +63,7 @@ func sorSweepRB3(pool *sched.Pool, x, b *grid.Grid, h, omega float64) {
 // gaussSeidel3 performs one lexicographic Gauss-Seidel sweep in place. Like
 // its 2D counterpart it is inherently sequential and provided for comparison
 // and testing; the solve path smooths with red-black SOR.
-func gaussSeidel3(x, b *grid.Grid, h float64) {
+func gaussSeidel3[T grid.Float](x, b *grid.G[T], h T) {
 	n := x.N()
 	h2 := h * h
 	for i := 1; i < n-1; i++ {
@@ -84,7 +84,7 @@ func gaussSeidel3(x, b *grid.Grid, h float64) {
 // jacobiSweep3 performs one weighted-Jacobi sweep with weight w, reading
 // from x and writing the relaxed iterate into out (boundary copied from x).
 // out must not alias x.
-func jacobiSweep3(pool *sched.Pool, out, x, b *grid.Grid, h, w float64) {
+func jacobiSweep3[T grid.Float](pool *sched.Pool, out, x, b *grid.G[T], h, w T) {
 	n := x.N()
 	h2 := h * h
 	out.CopyBoundaryFrom(x)
@@ -109,7 +109,7 @@ func jacobiSweep3(pool *sched.Pool, out, x, b *grid.Grid, h, w float64) {
 
 // residual3 computes r = b − T·x on interior points and zeroes r's boundary.
 // r must not alias x or b.
-func residual3(pool *sched.Pool, r, x, b *grid.Grid, h float64) {
+func residual3[T grid.Float](pool *sched.Pool, r, x, b *grid.G[T], h T) {
 	n := x.N()
 	inv := 1 / (h * h)
 	r.ZeroBoundary()
@@ -133,7 +133,7 @@ func residual3(pool *sched.Pool, r, x, b *grid.Grid, h float64) {
 
 // apply3 computes y = T·x on interior points and zeroes y's boundary.
 // y must not alias x.
-func apply3(pool *sched.Pool, y, x *grid.Grid, h float64) {
+func apply3[T grid.Float](pool *sched.Pool, y, x *grid.G[T], h T) {
 	n := x.N()
 	inv := 1 / (h * h)
 	y.ZeroBoundary()
@@ -155,7 +155,7 @@ func apply3(pool *sched.Pool, y, x *grid.Grid, h float64) {
 }
 
 // residualNorm3 returns ‖b − T·x‖₂ over interior points without allocating.
-func residualNorm3(x, b *grid.Grid, h float64) float64 {
+func residualNorm3[T grid.Float](x, b *grid.G[T], h T) float64 {
 	n := x.N()
 	inv := 1 / (h * h)
 	var sum float64
@@ -168,7 +168,7 @@ func residualNorm3(x, b *grid.Grid, h float64) float64 {
 			south := x.Row3(i, j+1)
 			br := b.Row3(i, j)
 			for k := 1; k < n-1; k++ {
-				r := br[k] - (6*xr[k]-up[k]-down[k]-north[k]-south[k]-xr[k-1]-xr[k+1])*inv
+				r := float64(br[k] - (6*xr[k]-up[k]-down[k]-north[k]-south[k]-xr[k-1]-xr[k+1])*inv)
 				sum += r * r
 			}
 		}

@@ -40,6 +40,12 @@ import (
 // calling FinishSmoothWithNorm additionally returns the post-sweep residual
 // norm exactly as SweepWithNorm computes it. cx must not alias x or b.
 func (op *Operator) InterpolateCorrectSmooth(pool *sched.Pool, x, b, cx *grid.Grid, h, omega float64) {
+	OpInterpolateCorrectSmooth(op, pool, x, b, cx, h, omega)
+}
+
+// OpInterpolateCorrectSmooth is the precision-generic edition of
+// Operator.InterpolateCorrectSmooth.
+func OpInterpolateCorrectSmooth[T grid.Float](op *Operator, pool *sched.Pool, x, b, cx *grid.G[T], h, omega T) {
 	h2 := h * h
 	switch op.family {
 	case FamilyPoisson:
@@ -51,14 +57,16 @@ func (op *Operator) InterpolateCorrectSmooth(pool *sched.Pool, x, b, cx *grid.Gr
 			redRelaxPlane3(x, b, i, h2, omega)
 		})
 	case FamilyAnisotropic:
-		invC := 1 / (2 * (op.eps + 1))
+		eps := T(op.eps)
+		invC := 1 / (2 * (eps + 1))
 		interpCorrectRows(pool, x, cx, func(i int) {
-			redRelaxRowConst(x, b, i, h2, omega, op.eps, 1, invC)
+			redRelaxRowConst(x, b, i, h2, omega, eps, 1, invC)
 		})
 	default:
 		op.checkSize(x.N())
+		coef := opCoef[T](op)
 		interpCorrectRows(pool, x, cx, func(i int) {
-			redRelaxRowVar(x, b, i, h2, omega, op.coef)
+			redRelaxRowVar(x, b, i, h2, omega, coef)
 		})
 	}
 }
@@ -67,6 +75,11 @@ func (op *Operator) InterpolateCorrectSmooth(pool *sched.Pool, x, b, cx *grid.Gr
 // started by InterpolateCorrectSmooth. The pair is bit-identical to the
 // unfused correction plus one SORSweepRB.
 func (op *Operator) FinishSmooth(pool *sched.Pool, x, b *grid.Grid, h, omega float64) {
+	OpFinishSmooth(op, pool, x, b, h, omega)
+}
+
+// OpFinishSmooth is the precision-generic edition of Operator.FinishSmooth.
+func OpFinishSmooth[T grid.Float](op *Operator, pool *sched.Pool, x, b *grid.G[T], h, omega T) {
 	h2 := h * h
 	switch op.family {
 	case FamilyPoisson:
@@ -74,10 +87,10 @@ func (op *Operator) FinishSmooth(pool *sched.Pool, x, b *grid.Grid, h, omega flo
 	case FamilyPoisson3D:
 		blackHalfSweep3(pool, x, b, h2, omega)
 	case FamilyAnisotropic:
-		blackHalfSweepConst(pool, x, b, h2, omega, op.eps, 1)
+		blackHalfSweepConst(pool, x, b, h2, omega, T(op.eps), 1)
 	default:
 		op.checkSize(x.N())
-		blackHalfSweepVar(pool, x, b, h2, omega, op.coef)
+		blackHalfSweepVar(pool, x, b, h2, omega, opCoef[T](op))
 	}
 }
 
@@ -87,6 +100,13 @@ func (op *Operator) FinishSmooth(pool *sched.Pool, x, b *grid.Grid, h, omega flo
 // SweepWithNorm — InterpolateCorrectSmooth followed by FinishSmoothWithNorm
 // returns the same bits as InterpolateAdd followed by SweepWithNorm.
 func (op *Operator) FinishSmoothWithNorm(pool *sched.Pool, x, b *grid.Grid, h, omega float64) float64 {
+	return OpFinishSmoothWithNorm(op, pool, x, b, h, omega)
+}
+
+// OpFinishSmoothWithNorm is the precision-generic edition of
+// Operator.FinishSmoothWithNorm. The returned norm is accumulated in float64
+// regardless of T.
+func OpFinishSmoothWithNorm[T grid.Float](op *Operator, pool *sched.Pool, x, b *grid.G[T], h, omega T) float64 {
 	h2 := h * h
 	inv := 1 / h2
 	switch op.family {
@@ -95,10 +115,10 @@ func (op *Operator) FinishSmoothWithNorm(pool *sched.Pool, x, b *grid.Grid, h, o
 	case FamilyPoisson3D:
 		return finishSweepNorm3(pool, x, b, h2, inv, omega, 6*(1-omega)*inv)
 	case FamilyAnisotropic:
-		return finishSweepNormConst(pool, x, b, h2, inv, omega, op.eps, 1)
+		return finishSweepNormConst(pool, x, b, h2, inv, omega, T(op.eps), 1)
 	default:
 		op.checkSize(x.N())
-		return finishSweepNormVar(pool, x, b, h2, inv, omega, op.coef)
+		return finishSweepNormVar(pool, x, b, h2, inv, omega, opCoef[T](op))
 	}
 }
 
@@ -107,9 +127,9 @@ func (op *Operator) FinishSmoothWithNorm(pool *sched.Pool, x, b *grid.Grid, h, o
 // red points via redRow. Serial execution runs the row wavefront; parallel
 // execution separates the correction and relaxation passes with a barrier,
 // so redRow always reads fully corrected rows i−1..i+1.
-func interpCorrectRows(pool *sched.Pool, x, cx *grid.Grid, redRow func(i int)) {
+func interpCorrectRows[T grid.Float](pool *sched.Pool, x, cx *grid.G[T], redRow func(i int)) {
 	n := x.N()
-	correct := func(buf []float64, i int) {
+	correct := func(buf []T, i int) {
 		transfer.InterpRow(buf, cx, i)
 		xr := x.Row(i)
 		for j := 1; j < n-1; j++ {
@@ -117,7 +137,7 @@ func interpCorrectRows(pool *sched.Pool, x, cx *grid.Grid, redRow func(i int)) {
 		}
 	}
 	if pool == nil {
-		buf := make([]float64, n)
+		buf := make([]T, n)
 		correct(buf, 1)
 		for i := 2; i < n-1; i++ {
 			correct(buf, i)
@@ -127,7 +147,7 @@ func interpCorrectRows(pool *sched.Pool, x, cx *grid.Grid, redRow func(i int)) {
 		return
 	}
 	parallelRows(pool, n, func(lo, hi int) {
-		buf := make([]float64, n)
+		buf := make([]T, n)
 		for i := lo; i < hi; i++ {
 			correct(buf, i)
 		}
@@ -141,7 +161,7 @@ func interpCorrectRows(pool *sched.Pool, x, cx *grid.Grid, redRow func(i int)) {
 
 // redRelaxRow relaxes the red ((i+j) even) points of row i for the
 // Laplacian — SORSweepRB's color-0 half restricted to one row.
-func redRelaxRow(x, b *grid.Grid, i int, h2, omega float64) {
+func redRelaxRow[T grid.Float](x, b *grid.G[T], i int, h2, omega T) {
 	n := x.N()
 	xr := x.Row(i)
 	up := x.Row(i - 1)
@@ -154,7 +174,7 @@ func redRelaxRow(x, b *grid.Grid, i int, h2, omega float64) {
 }
 
 // redRelaxRowConst is redRelaxRow for a constant-coefficient stencil.
-func redRelaxRowConst(x, b *grid.Grid, i int, h2, omega, cx, cy, invC float64) {
+func redRelaxRowConst[T grid.Float](x, b *grid.G[T], i int, h2, omega, cx, cy, invC T) {
 	n := x.N()
 	xr := x.Row(i)
 	up := x.Row(i - 1)
@@ -167,7 +187,7 @@ func redRelaxRowConst(x, b *grid.Grid, i int, h2, omega, cx, cy, invC float64) {
 }
 
 // redRelaxRowVar is redRelaxRow for a variable-coefficient stencil.
-func redRelaxRowVar(x, b *grid.Grid, i int, h2, omega float64, c *grid.Grid) {
+func redRelaxRowVar[T grid.Float](x, b *grid.G[T], i int, h2, omega T, c *grid.G[T]) {
 	n := x.N()
 	xr := x.Row(i)
 	up := x.Row(i - 1)
@@ -188,7 +208,7 @@ func redRelaxRowVar(x, b *grid.Grid, i int, h2, omega float64, c *grid.Grid) {
 }
 
 // blackHalfSweep is SORSweepRB's color-1 half-sweep for the Laplacian.
-func blackHalfSweep(pool *sched.Pool, x, b *grid.Grid, h2, omega float64) {
+func blackHalfSweep[T grid.Float](pool *sched.Pool, x, b *grid.G[T], h2, omega T) {
 	n := x.N()
 	parallelRows(pool, n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -206,7 +226,7 @@ func blackHalfSweep(pool *sched.Pool, x, b *grid.Grid, h2, omega float64) {
 
 // blackHalfSweepConst is the color-1 half-sweep for a constant-coefficient
 // stencil.
-func blackHalfSweepConst(pool *sched.Pool, x, b *grid.Grid, h2, omega, cx, cy float64) {
+func blackHalfSweepConst[T grid.Float](pool *sched.Pool, x, b *grid.G[T], h2, omega, cx, cy T) {
 	n := x.N()
 	invC := 1 / (2 * (cx + cy))
 	parallelRows(pool, n, func(lo, hi int) {
@@ -225,7 +245,7 @@ func blackHalfSweepConst(pool *sched.Pool, x, b *grid.Grid, h2, omega, cx, cy fl
 
 // blackHalfSweepVar is the color-1 half-sweep for a variable-coefficient
 // stencil.
-func blackHalfSweepVar(pool *sched.Pool, x, b *grid.Grid, h2, omega float64, c *grid.Grid) {
+func blackHalfSweepVar[T grid.Float](pool *sched.Pool, x, b *grid.G[T], h2, omega T, c *grid.G[T]) {
 	n := x.N()
 	parallelRows(pool, n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {

@@ -18,9 +18,9 @@ import (
 // interpolation of cx to every interior pencil of x (one InterpRow3 per
 // pencil) and relax the red points via redPlane — wavefront when serial, two
 // barrier-separated passes when pooled.
-func interpCorrectPlanes(pool *sched.Pool, x, cx *grid.Grid, redPlane func(i int)) {
+func interpCorrectPlanes[T grid.Float](pool *sched.Pool, x, cx *grid.G[T], redPlane func(i int)) {
 	n := x.N()
-	correct := func(buf, tmp []float64, i int) {
+	correct := func(buf, tmp []T, i int) {
 		for j := 1; j < n-1; j++ {
 			transfer.InterpRow3(buf, tmp, cx, i, j)
 			xr := x.Row3(i, j)
@@ -30,8 +30,8 @@ func interpCorrectPlanes(pool *sched.Pool, x, cx *grid.Grid, redPlane func(i int
 		}
 	}
 	if pool == nil {
-		buf := make([]float64, n)
-		tmp := make([]float64, n)
+		buf := make([]T, n)
+		tmp := make([]T, n)
 		correct(buf, tmp, 1)
 		for i := 2; i < n-1; i++ {
 			correct(buf, tmp, i)
@@ -41,8 +41,8 @@ func interpCorrectPlanes(pool *sched.Pool, x, cx *grid.Grid, redPlane func(i int
 		return
 	}
 	parallelPlanes(pool, n, func(lo, hi int) {
-		buf := make([]float64, n)
-		tmp := make([]float64, n)
+		buf := make([]T, n)
+		tmp := make([]T, n)
 		for i := lo; i < hi; i++ {
 			correct(buf, tmp, i)
 		}
@@ -56,7 +56,7 @@ func interpCorrectPlanes(pool *sched.Pool, x, cx *grid.Grid, redPlane func(i int
 
 // redRelaxPlane3 relaxes the red ((i+j+k) even) points of plane i —
 // sorSweepRB3's color-0 half restricted to one plane.
-func redRelaxPlane3(x, b *grid.Grid, i int, h2, omega float64) {
+func redRelaxPlane3[T grid.Float](x, b *grid.G[T], i int, h2, omega T) {
 	n := x.N()
 	for j := 1; j < n-1; j++ {
 		xr := x.Row3(i, j)
@@ -73,7 +73,7 @@ func redRelaxPlane3(x, b *grid.Grid, i int, h2, omega float64) {
 }
 
 // blackHalfSweep3 is sorSweepRB3's color-1 half-sweep.
-func blackHalfSweep3(pool *sched.Pool, x, b *grid.Grid, h2, omega float64) {
+func blackHalfSweep3[T grid.Float](pool *sched.Pool, x, b *grid.G[T], h2, omega T) {
 	n := x.N()
 	parallelPlanes(pool, n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {

@@ -130,7 +130,7 @@ func TestSORSweepsSplitMatchesStrided(t *testing.T) {
 					withPools(t, func(t *testing.T, pool *sched.Pool) {
 						xs := x0.Clone()
 						// Call the split path directly, below its size gate.
-						op.sorSweepsSplit(pool, xs, b, h, omega, sweeps)
+						sorSweepsSplit(op, pool, xs, b, h, omega, sweeps)
 						assertBitIdentical(t, xo, xs, "split sweep iterate")
 					})
 				})
@@ -202,10 +202,10 @@ func FuzzSplitMatchesStrided(f *testing.F) {
 			op.SORSweepRB(nil, xo, b, h, omega)
 		}
 		xs := x0.Clone()
-		op.sorSweepsSplit(pool, xs, b, h, omega, sweeps)
+		sorSweepsSplit(op, pool, xs, b, h, omega, sweeps)
 		assertBitIdentical(t, xo, xs, "2D split iterate")
 		xss := x0.Clone()
-		op.sorSweepsSplit(nil, xss, b, h, omega, sweeps)
+		sorSweepsSplit(op, nil, xss, b, h, omega, sweeps)
 		assertBitIdentical(t, xo, xss, "2D split serial (wavefront) iterate")
 
 		const n3 = 33
@@ -217,10 +217,10 @@ func FuzzSplitMatchesStrided(f *testing.F) {
 			op3.SORSweepRB(nil, xo3, b3, h3, omega)
 		}
 		xs3 := x30.Clone()
-		op3.sorSweepsSplit(pool, xs3, b3, h3, omega, sweeps)
+		sorSweepsSplit(op3, pool, xs3, b3, h3, omega, sweeps)
 		assertBitIdentical(t, xo3, xs3, "3D split iterate")
 		xss3 := x30.Clone()
-		op3.sorSweepsSplit(nil, xss3, b3, h3, omega, sweeps)
+		sorSweepsSplit(op3, nil, xss3, b3, h3, omega, sweeps)
 		assertBitIdentical(t, xo3, xss3, "3D split serial (wavefront) iterate")
 	})
 }

@@ -24,7 +24,7 @@ import (
 // transfer and the residual pass feeding it always make the same
 // serial-vs-parallel decision.
 
-func checkLevels(coarse, fine *grid.Grid, what string) {
+func checkLevels[T grid.Float](coarse, fine *grid.G[T], what string) {
 	nc, nf := coarse.N(), fine.N()
 	if nf != 2*nc-1 {
 		panic(fmt.Sprintf("transfer: %s size mismatch fine=%d coarse=%d", what, nf, nc))
@@ -42,7 +42,7 @@ func checkLevels(coarse, fine *grid.Grid, what string) {
 //
 // In 3D the weights are the tensor-product extension (8 center, 4 face,
 // 2 edge, 1 corner, /64).
-func Restrict(pool *sched.Pool, coarse, fine *grid.Grid) {
+func Restrict[T grid.Float](pool *sched.Pool, coarse, fine *grid.G[T]) {
 	checkLevels(coarse, fine, "Restrict")
 	if fine.Dim() == 3 {
 		restrict3(pool, coarse, fine)
@@ -76,7 +76,7 @@ func Restrict(pool *sched.Pool, coarse, fine *grid.Grid) {
 // [1/4, 1/2, 1/4], giving weight 8 to the coincident fine point, 4 to its 6
 // face neighbours, 2 to its 12 edge neighbours, and 1 to its 8 corner
 // neighbours, normalized by 64. Parallel chunks own disjoint coarse planes.
-func restrict3(pool *sched.Pool, coarse, fine *grid.Grid) {
+func restrict3[T grid.Float](pool *sched.Pool, coarse, fine *grid.G[T]) {
 	nc := coarse.N()
 	coarse.ZeroBoundary()
 	body := func(lo, hi int) {
@@ -87,7 +87,7 @@ func restrict3(pool *sched.Pool, coarse, fine *grid.Grid) {
 				cr := coarse.Row3(ci, cj)
 				// The nine fine rows surrounding (fi, fj): plane offset di,
 				// row offset dj.
-				var rows [3][3][]float64
+				var rows [3][3][]T
 				for di := -1; di <= 1; di++ {
 					for dj := -1; dj <= 1; dj++ {
 						rows[di+1][dj+1] = fine.Row3(fi+di, fj+dj)
@@ -95,13 +95,13 @@ func restrict3(pool *sched.Pool, coarse, fine *grid.Grid) {
 				}
 				for ck := 1; ck < nc-1; ck++ {
 					fk := 2 * ck
-					var sum float64
+					var sum T
 					for di := 0; di < 3; di++ {
 						for dj := 0; dj < 3; dj++ {
 							r := rows[di][dj]
 							// 1D weights: 2 at offset 0, 1 at ±1; the product
 							// of the three axis weights is the 3D weight.
-							w := float64(weight1D[di] * weight1D[dj])
+							w := T(weight1D[di] * weight1D[dj])
 							sum += w * (2*r[fk] + r[fk-1] + r[fk+1])
 						}
 					}
@@ -138,7 +138,7 @@ var weight1D = [3]int{1, 2, 1}
 // coarse rows and recomputes its one boundary-overlap row locally, so the
 // output is also bit-identical for any pool and chunking. resRow must be
 // safe for concurrent calls with distinct buffers.
-func RestrictResidual(pool *sched.Pool, coarse *grid.Grid, nf int, resRow func(fi int, dst []float64)) {
+func RestrictResidual[T grid.Float](pool *sched.Pool, coarse *grid.G[T], nf int, resRow func(fi int, dst []T)) {
 	nc := coarse.N()
 	if nf != 2*nc-1 {
 		panic(fmt.Sprintf("transfer: RestrictResidual size mismatch fine=%d coarse=%d", nf, nc))
@@ -148,9 +148,9 @@ func RestrictResidual(pool *sched.Pool, coarse *grid.Grid, nf int, resRow func(f
 	}
 	coarse.ZeroBoundary()
 	body := func(lo, hi int) {
-		up := make([]float64, nf)
-		mid := make([]float64, nf)
-		down := make([]float64, nf)
+		up := make([]T, nf)
+		mid := make([]T, nf)
+		down := make([]T, nf)
 		for ci := lo; ci < hi; ci++ {
 			fi := 2 * ci
 			if ci == lo {
@@ -188,16 +188,16 @@ func RestrictResidual(pool *sched.Pool, coarse *grid.Grid, nf int, resRow func(f
 // values computed on the fly. Chunks own disjoint coarse planes and
 // recompute their one boundary-overlap plane locally, so the output is
 // bit-identical for any pool and chunking.
-func restrictSep3(pool *sched.Pool, coarse *grid.Grid, nf int, mkCompress func() func(fi int, kc []float64)) {
+func restrictSep3[T grid.Float](pool *sched.Pool, coarse *grid.G[T], nf int, mkCompress func() func(fi int, kc []T)) {
 	nc := coarse.N()
 	coarse.ZeroBoundary()
 	body := func(lo, hi int) {
 		compress := mkCompress()
-		kc := make([]float64, nf*nc) // k-compressed rows of the current plane
-		wu := make([]float64, nc*nc) // fully pre-weighted (k and j) planes
-		wm := make([]float64, nc*nc)
-		wd := make([]float64, nc*nc)
-		preweight := func(fi int, w []float64) {
+		kc := make([]T, nf*nc) // k-compressed rows of the current plane
+		wu := make([]T, nc*nc) // fully pre-weighted (k and j) planes
+		wm := make([]T, nc*nc)
+		wd := make([]T, nc*nc)
+		preweight := func(fi int, w []T) {
 			compress(fi, kc)
 			for cj := 1; cj < nc-1; cj++ {
 				fj := 2 * cj
@@ -238,7 +238,7 @@ func restrictSep3(pool *sched.Pool, coarse *grid.Grid, nf int, mkCompress func()
 }
 
 // kCompressRow folds one fine row into its nc k-compressed columns.
-func kCompressRow(row, krow []float64, nc int) {
+func kCompressRow[T grid.Float](row, krow []T, nc int) {
 	for ck := 1; ck < nc-1; ck++ {
 		fk := 2 * ck
 		krow[ck] = row[fk-1] + 2*row[fk] + row[fk+1]
@@ -251,7 +251,7 @@ func kCompressRow(row, krow []float64, nc int) {
 // (restrictSep3). Same contract as the 2D driver, except agreement with
 // Restrict is to floating-point association (the separable order differs),
 // still bit-identical across pools and chunkings.
-func RestrictResidual3(pool *sched.Pool, coarse *grid.Grid, nf int, resPlane func(fi int, dst []float64)) {
+func RestrictResidual3[T grid.Float](pool *sched.Pool, coarse *grid.G[T], nf int, resPlane func(fi int, dst []T)) {
 	nc := coarse.N()
 	if nf != 2*nc-1 {
 		panic(fmt.Sprintf("transfer: RestrictResidual3 size mismatch fine=%d coarse=%d", nf, nc))
@@ -259,9 +259,9 @@ func RestrictResidual3(pool *sched.Pool, coarse *grid.Grid, nf int, resPlane fun
 	if coarse.Dim() != 3 {
 		panic(fmt.Sprintf("transfer: RestrictResidual3 needs a 3D coarse grid, got %dD", coarse.Dim()))
 	}
-	restrictSep3(pool, coarse, nf, func() func(fi int, kc []float64) {
-		plane := make([]float64, nf*nf)
-		return func(fi int, kc []float64) {
+	restrictSep3(pool, coarse, nf, func() func(fi int, kc []T) {
+		plane := make([]T, nf*nf)
+		return func(fi int, kc []T) {
 			resPlane(fi, plane)
 			for j := 1; j < nf-1; j++ {
 				kCompressRow(plane[j*nf:(j+1)*nf], kc[j*nc:(j+1)*nc], nc)
@@ -276,14 +276,14 @@ func RestrictResidual3(pool *sched.Pool, coarse *grid.Grid, nf int, resPlane fun
 // direct 27-point Restrict. Boundary entries of fine are never read.
 // Agreement with Restrict is to floating-point association; output is
 // bit-identical across pools and chunkings.
-func RestrictSep3(pool *sched.Pool, coarse, fine *grid.Grid) {
+func RestrictSep3[T grid.Float](pool *sched.Pool, coarse, fine *grid.G[T]) {
 	checkLevels(coarse, fine, "RestrictSep3")
 	if fine.Dim() != 3 {
 		panic(fmt.Sprintf("transfer: RestrictSep3 needs 3D grids, got %dD", fine.Dim()))
 	}
 	nf, nc := fine.N(), coarse.N()
-	restrictSep3(pool, coarse, nf, func() func(fi int, kc []float64) {
-		return func(fi int, kc []float64) {
+	restrictSep3(pool, coarse, nf, func() func(fi int, kc []T) {
+		return func(fi int, kc []T) {
 			for j := 1; j < nf-1; j++ {
 				kCompressRow(fine.Row3(fi, j), kc[j*nc:(j+1)*nc], nc)
 			}
@@ -296,7 +296,7 @@ func RestrictSep3(pool *sched.Pool, coarse, fine *grid.Grid) {
 // source of the even-row interpolation arithmetic, shared by Interpolate, the
 // 3D tensor product, and the per-row providers (InterpRow/InterpRow3), so
 // every consumer agrees bit for bit.
-func interpEvenRow(fr, cr []float64, nc int) {
+func interpEvenRow[T grid.Float](fr, cr []T, nc int) {
 	for cj := 0; cj < nc-1; cj++ {
 		fj := 2 * cj
 		fr[fj] = cr[cj]
@@ -307,7 +307,7 @@ func interpEvenRow(fr, cr []float64, nc int) {
 
 // interpOddRow writes the fine row between coarse rows cr and next: vertical
 // 2-point and diagonal 4-point averages. Shared like interpEvenRow.
-func interpOddRow(fr, cr, next []float64, nc int) {
+func interpOddRow[T grid.Float](fr, cr, next []T, nc int) {
 	for cj := 0; cj < nc-1; cj++ {
 		fj := 2 * cj
 		fr[fj] = 0.5 * (cr[cj] + next[cj])
@@ -321,7 +321,7 @@ func interpOddRow(fr, cr, next []float64, nc int) {
 // to the row Interpolate would produce before its boundary zeroing. Fused
 // upstroke kernels consume interpolation rows one at a time through this
 // provider instead of materializing the fine interpolant in a scratch grid.
-func InterpRow(dst []float64, coarse *grid.Grid, fi int) {
+func InterpRow[T grid.Float](dst []T, coarse *grid.G[T], fi int) {
 	nc := coarse.N()
 	if fi%2 == 0 {
 		interpEvenRow(dst, coarse.Row(fi/2), nc)
@@ -336,11 +336,11 @@ func InterpRow(dst []float64, coarse *grid.Grid, fi int) {
 // caller scratch of dst's length, clobbered on odd planes (odd fine planes
 // average the two surrounding even-plane interpolants, exactly as the tensor
 // product in interpolate3 evaluates them).
-func InterpRow3(dst, tmp []float64, coarse *grid.Grid, fi, fj int) {
+func InterpRow3[T grid.Float](dst, tmp []T, coarse *grid.G[T], fi, fj int) {
 	nc := coarse.N()
 	nf := 2*nc - 1
 	ci, cj := fi/2, fj/2
-	rowInto := func(buf []float64, ci int) {
+	rowInto := func(buf []T, ci int) {
 		if fj%2 == 0 {
 			interpEvenRow(buf, coarse.Row3(ci, cj), nc)
 			return
@@ -361,7 +361,7 @@ func InterpRow3(dst, tmp []float64, coarse *grid.Grid, fi, fj int) {
 // coarse grid into fine: coincident fine points copy the coarse value and
 // in-between points average their 2, 4, or 8 coarse neighbours. The fine
 // boundary is zeroed (corrections carry no boundary error).
-func Interpolate(pool *sched.Pool, fine, coarse *grid.Grid) {
+func Interpolate[T grid.Float](pool *sched.Pool, fine, coarse *grid.G[T]) {
 	checkLevels(coarse, fine, "Interpolate")
 	if fine.Dim() == 3 {
 		interpolate3(pool, fine, coarse)
@@ -395,20 +395,20 @@ func Interpolate(pool *sched.Pool, fine, coarse *grid.Grid) {
 // chunks write disjoint planes. Within a plane the 2D bilinear pattern
 // applies; odd fine planes average the two surrounding even fine planes'
 // interpolants, computed directly from the coarse values.
-func interpolate3(pool *sched.Pool, fine, coarse *grid.Grid) {
+func interpolate3[T grid.Float](pool *sched.Pool, fine, coarse *grid.G[T]) {
 	nc, nf := coarse.N(), fine.N()
 	fine.ZeroBoundary()
 	// evenRow writes a fine row above a coarse row (copy / 2-point average);
 	// oddRow writes a fine row between two coarse rows (2- and 4-point
 	// averages) — both via the shared 1D helpers. Odd fine planes average the
 	// evenRow/oddRow interpolants of the two surrounding coarse planes.
-	evenRow := func(fr, cr []float64) { interpEvenRow(fr, cr, nc) }
-	oddRow := func(fr, cr, next []float64) { interpOddRow(fr, cr, next, nc) }
+	evenRow := func(fr, cr []T) { interpEvenRow(fr, cr, nc) }
+	oddRow := func(fr, cr, next []T) { interpOddRow(fr, cr, next, nc) }
 	body := func(lo, hi int) {
 		// Per-chunk scratch rows for the odd-plane averages.
-		row := make([]float64, nf)
-		rowNext := make([]float64, nf)
-		average := func(dst, a, b []float64) {
+		row := make([]T, nf)
+		rowNext := make([]T, nf)
+		average := func(dst, a, b []T) {
 			for k := range dst {
 				dst[k] = 0.5 * (a[k] + b[k])
 			}
@@ -452,7 +452,7 @@ func interpolate3(pool *sched.Pool, fine, coarse *grid.Grid) {
 // InterpolateAdd interpolates coarse into a scratch grid and adds the result
 // to x's interior — the coarse-grid correction step. scratch must be a fine
 // sized grid and must not alias x.
-func InterpolateAdd(pool *sched.Pool, x, coarse, scratch *grid.Grid) {
+func InterpolateAdd[T grid.Float](pool *sched.Pool, x, coarse, scratch *grid.G[T]) {
 	Interpolate(pool, scratch, coarse)
 	x.AddInterior(scratch)
 }
@@ -465,13 +465,13 @@ func InterpolateAdd(pool *sched.Pool, x, coarse, scratch *grid.Grid) {
 // streams. The per-point addend and the addition are the same operations in
 // the same per-point order as InterpolateAdd, so the result is bit-identical
 // for any pool and chunking.
-func InterpolateAddFused(pool *sched.Pool, x, coarse *grid.Grid) {
+func InterpolateAddFused[T grid.Float](pool *sched.Pool, x, coarse *grid.G[T]) {
 	checkLevels(coarse, x, "InterpolateAddFused")
 	nf := x.N()
 	if x.Dim() == 3 {
 		body := func(lo, hi int) {
-			buf := make([]float64, nf)
-			tmp := make([]float64, nf)
+			buf := make([]T, nf)
+			tmp := make([]T, nf)
 			for fi := lo; fi < hi; fi++ {
 				for fj := 1; fj < nf-1; fj++ {
 					InterpRow3(buf, tmp, coarse, fi, fj)
@@ -490,7 +490,7 @@ func InterpolateAddFused(pool *sched.Pool, x, coarse *grid.Grid) {
 		return
 	}
 	body := func(lo, hi int) {
-		buf := make([]float64, nf)
+		buf := make([]T, nf)
 		for fi := lo; fi < hi; fi++ {
 			InterpRow(buf, coarse, fi)
 			xr := x.Row(fi)

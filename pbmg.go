@@ -444,6 +444,50 @@ func (s *Solver) Describe(n int, accuracy float64, full bool) (string, error) {
 	return mg.DescribeV(s.tuned.V, level, idx), nil
 }
 
+// PlanPrecision reports the storage precision ("f64", "f32", or "mixed") of
+// the tuned plan the solver executes at the top level for a problem of side
+// n at the given accuracy — the knob operators watch to see which precision
+// a family/accuracy cell is serving. Coarser cells inside the cycle may run
+// at their own tuned precisions; the top-level directive is the one that
+// governs the fine-grid traversals dominating solve time.
+func (s *Solver) PlanPrecision(n int, accuracy float64) (string, error) {
+	if err := s.checkSizeN(n); err != nil {
+		return "", err
+	}
+	idx, err := s.accIndex(accuracy)
+	if err != nil {
+		return "", err
+	}
+	return s.tuned.V.Plan(grid.Level(n), idx).Precision.String(), nil
+}
+
+// PlanPrecisions reports the distinct storage precisions appearing anywhere
+// in the solver's tuned V-table, in fixed f64 → f32 → mixed order — the
+// summary /metrics exposes so an operator can tell at a glance whether a
+// family's tables exploit reduced precision at all.
+func (s *Solver) PlanPrecisions() []string {
+	var seen [3]bool
+	for _, row := range s.tuned.V.Plans {
+		for _, p := range row {
+			switch p.Precision {
+			case mg.PrecF32:
+				seen[1] = true
+			case mg.PrecMixed:
+				seen[2] = true
+			default:
+				seen[0] = true
+			}
+		}
+	}
+	var out []string
+	for i, label := range []string{"f64", "f32", "mixed"} {
+		if seen[i] {
+			out = append(out, label)
+		}
+	}
+	return out
+}
+
 // SolveTraced solves T·x = b like Solve while recording every executed
 // operation into rec — the hook benchmark harnesses use to account work
 // (sweeps, direct solves) alongside wall time.

@@ -43,6 +43,10 @@ type SolveResponse struct {
 	Family string  `json:"family"`
 	Eps    float64 `json:"eps,omitempty"`
 	N      int     `json:"n"`
+	// Precision is the storage precision of the tuned plan that served the
+	// solve at the top level: "f64", "f32" (whole cycle in float32 storage),
+	// or "mixed" (f32 cycle under f64 iterative refinement).
+	Precision string `json:"precision,omitempty"`
 	// SolveNs is the server-side solve duration (admission wait excluded).
 	SolveNs int64 `json:"solveNs"`
 }
@@ -77,6 +81,9 @@ type BatchResponse struct {
 	Family  string        `json:"family"`
 	Eps     float64       `json:"eps,omitempty"`
 	N       int           `json:"n"`
+	// Precision is the top-level plan precision serving the batch's
+	// (n, accuracy) cell, as in SolveResponse.
+	Precision string `json:"precision,omitempty"`
 }
 
 // BatchResult is one problem's outcome.
@@ -102,6 +109,10 @@ type FamilyStatus struct {
 	// QueueDepth is its bounded admission queue.
 	Quota      int `json:"quota"`
 	QueueDepth int `json:"queueDepth"`
+	// Precisions lists the distinct plan storage precisions present in the
+	// family's tuned table ("f64", "f32", "mixed"), so operators can see
+	// which families serve mixed-precision plans.
+	Precisions []string `json:"precisions,omitempty"`
 	// Service counters (pbmg.ServiceMetrics).
 	Admitted  int64 `json:"admitted"`
 	Completed int64 `json:"completed"`

@@ -311,11 +311,12 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, SolveResponse{
-		X:       xg.Data(),
-		Family:  svc.Family().String(),
-		Eps:     epsOf(svc),
-		N:       req.N,
-		SolveNs: time.Since(t0).Nanoseconds(),
+		X:         xg.Data(),
+		Family:    svc.Family().String(),
+		Eps:       epsOf(svc),
+		N:         req.N,
+		Precision: planPrecisionOf(svc, req.N, req.Accuracy),
+		SolveNs:   time.Since(t0).Nanoseconds(),
 	})
 }
 
@@ -361,10 +362,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 
 	resp := BatchResponse{
-		Results: make([]BatchResult, len(req.Problems)),
-		Family:  svc.Family().String(),
-		Eps:     epsOf(svc),
-		N:       req.N,
+		Results:   make([]BatchResult, len(req.Problems)),
+		Family:    svc.Family().String(),
+		Eps:       epsOf(svc),
+		N:         req.N,
+		Precision: planPrecisionOf(svc, req.N, req.Accuracy),
 	}
 	// Fan out with a worker loop bounded by the family quota (or the
 	// problem count), the Service.SolveBatch idiom at the HTTP layer.
@@ -430,6 +432,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			MaxSize:       g.svc.Solver().MaxSize(),
 			Quota:         g.quota,
 			QueueDepth:    g.queueDepth,
+			Precisions:    g.svc.Solver().PlanPrecisions(),
 			Admitted:      sm.Admitted,
 			Completed:     sm.Completed,
 			Failed:        sm.Failed,
@@ -479,4 +482,15 @@ func epsOf(svc *pbmg.Service) float64 {
 		return svc.Epsilon()
 	}
 	return 0
+}
+
+// planPrecisionOf reports the tuned plan precision serving (n, accuracy),
+// empty when the cell cannot be resolved (the solve itself already answered
+// the request, so a lookup miss only omits the advisory field).
+func planPrecisionOf(svc *pbmg.Service, n int, accuracy float64) string {
+	p, err := svc.Solver().PlanPrecision(n, accuracy)
+	if err != nil {
+		return ""
+	}
+	return p
 }
