@@ -37,6 +37,7 @@ func main() {
 	gate := flag.Bool("gate", false, "with -exp kernels, fail if any fused kernel is >15% slower than its unfused oracle (same-machine fusion regression gate)")
 	compare := flag.String("compare", "",
 		"regression gate: compare this old report JSON (baseline or kernels format) against the new report given as the positional argument; cells in only one file are listed as new/removed; exit nonzero if any matched cell slowed >15% (usage: mgbench -compare old.json new.json)")
+	writeAllow := flag.Bool("write", false, "with -exp escapes, regenerate ESCAPES.allow from the current compiler output instead of gating against it")
 	quiet := flag.Bool("q", false, "suppress progress output")
 	flag.Parse()
 
@@ -75,6 +76,13 @@ func main() {
 	}
 	if *exp == "serve" {
 		if err := runServe(*families, *level, *workers, *seed, *jsonOut, logf); err != nil {
+			fmt.Fprintln(os.Stderr, "mgbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *exp == "escapes" {
+		if err := runEscapes(*writeAllow, logf); err != nil {
 			fmt.Fprintln(os.Stderr, "mgbench:", err)
 			os.Exit(1)
 		}

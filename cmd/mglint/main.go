@@ -1,0 +1,125 @@
+// mglint is the repo's invariant checker: a go/analysis multichecker
+// over the five analyzers that mechanically enforce the kernel, pooling,
+// and serving contracts (see README "Static analysis"):
+//
+//	hotalloc     no allocation in kernel hot paths
+//	determinism  no nondeterminism sources in kernel/reduction code
+//	poolput      every arena checkout released on all paths
+//	boundedgo    no unbounded goroutine launches in the serving path
+//	dimguard     2D/3D grid accessor mismatches at compile time
+//
+// Usage:
+//
+//	go run ./cmd/mglint ./...          # lint the repo; nonzero exit on findings
+//	go run ./cmd/mglint -json ./...    # machine-readable diagnostics
+//	go vet -vettool=$(which mglint) ./...  # as a vet tool
+//
+// The binary speaks the go vet unitchecker protocol: invoked by the go
+// command (with -V=full, -flags, or a *.cfg unit file) it behaves as a
+// vettool; invoked with package patterns it re-executes itself through
+// `go vet -vettool=<self>`, so one binary is both the driver and the
+// tool and every run analyzes packages exactly the way the build does —
+// export data, test files, and all.
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"pbmg/internal/analysis/boundedgo"
+	"pbmg/internal/analysis/determinism"
+	"pbmg/internal/analysis/dimguard"
+	"pbmg/internal/analysis/hotalloc"
+	"pbmg/internal/analysis/poolput"
+)
+
+// Analyzers is the mglint suite, in reporting order.
+var Analyzers = []*analysis.Analyzer{
+	hotalloc.Analyzer,
+	determinism.Analyzer,
+	poolput.Analyzer,
+	boundedgo.Analyzer,
+	dimguard.Analyzer,
+}
+
+func main() {
+	args := os.Args[1:]
+	if vetInvocation(args) {
+		unitchecker.Main(Analyzers...) // never returns
+	}
+
+	// Driver mode: mglint [-json] [packages...]. Re-exec through go vet
+	// so package loading matches the build exactly.
+	var jsonOut bool
+	var pkgs []string
+	for _, a := range args {
+		switch a {
+		case "-json", "--json":
+			jsonOut = true
+		case "-h", "-help", "--help":
+			usage()
+			return
+		default:
+			if strings.HasPrefix(a, "-") {
+				fmt.Fprintf(os.Stderr, "mglint: unknown flag %s\n", a)
+				usage()
+				os.Exit(2)
+			}
+			pkgs = append(pkgs, a)
+		}
+	}
+	if len(pkgs) == 0 {
+		pkgs = []string{"./..."}
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mglint: cannot locate own executable: %v\n", err)
+		os.Exit(2)
+	}
+	vetArgs := []string{"vet", "-vettool=" + exe}
+	if jsonOut {
+		vetArgs = append(vetArgs, "-json")
+	}
+	vetArgs = append(vetArgs, pkgs...)
+	cmd := exec.Command("go", vetArgs...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			os.Exit(ee.ExitCode())
+		}
+		fmt.Fprintf(os.Stderr, "mglint: running go vet: %v\n", err)
+		os.Exit(2)
+	}
+}
+
+// vetInvocation reports whether the go command is driving this process
+// as a vettool (the unitchecker protocol: a version/flags handshake or a
+// unit-config file argument).
+func vetInvocation(args []string) bool {
+	for _, a := range args {
+		if a == "-V=full" || a == "-flags" || strings.HasSuffix(a, ".cfg") {
+			return true
+		}
+	}
+	return false
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `mglint: enforce pbmg's kernel, pooling, and serving invariants
+
+usage: mglint [-json] [packages...]   (default ./...)
+
+analyzers:
+`)
+	for _, a := range Analyzers {
+		fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, strings.Split(a.Doc, "\n")[0])
+	}
+	fmt.Fprintf(os.Stderr, "\nSuppress a finding with //mglint:allow <analyzer> — <justification>.\n")
+}

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSeededViolationFailsVet builds the mglint binary and drives it the
+// way CI does — through go vet -vettool — over a scratch module seeded
+// with a boundedgo violation, proving the whole pipeline (unitchecker
+// protocol, package scoping, nonzero exit) catches a regression; the
+// repaired variant of the same module must pass.
+func TestSeededViolationFailsVet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and vets a scratch module")
+	}
+	tmp := t.TempDir()
+	bin := filepath.Join(tmp, "mglint")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building mglint: %v\n%s", err, out)
+	}
+
+	writeModule := func(dir, serveSrc string) {
+		t.Helper()
+		if err := os.MkdirAll(filepath.Join(dir, "serve"), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		files := map[string]string{
+			"go.mod":         "module scratch\n\ngo 1.24\n",
+			"serve/serve.go": serveSrc,
+		}
+		for name, src := range files {
+			if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	vet := func(dir string) (string, error) {
+		cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+		cmd.Dir = dir
+		out, err := cmd.CombinedOutput()
+		return string(out), err
+	}
+
+	// Seeded violation: the PR 4 shape, a goroutine per ranged element.
+	bad := filepath.Join(tmp, "bad")
+	writeModule(bad, `package serve
+
+func FanOut(reqs []int, handle func(int)) {
+	for _, r := range reqs {
+		go handle(r)
+	}
+}
+`)
+	out, err := vet(bad)
+	if err == nil {
+		t.Fatalf("go vet -vettool=mglint passed on a seeded boundedgo violation; output:\n%s", out)
+	}
+	if !strings.Contains(out, "boundedgo") {
+		t.Fatalf("failure output does not name boundedgo:\n%s", out)
+	}
+
+	// The repaired module — a worker loop sized by an admission limit —
+	// must pass with exit 0.
+	good := filepath.Join(tmp, "good")
+	writeModule(good, `package serve
+
+func FanOut(workers int, reqs chan int, handle func(int)) {
+	for i := 0; i < workers; i++ {
+		go func() {
+			for r := range reqs {
+				handle(r)
+			}
+		}()
+	}
+}
+`)
+	if out, err := vet(good); err != nil {
+		t.Fatalf("go vet -vettool=mglint failed on the repaired module: %v\n%s", err, out)
+	}
+}

@@ -1,0 +1,272 @@
+// Package atest runs an analyzer over GOPATH-style fixture packages and
+// checks its diagnostics against // want "regexp" comments — the
+// analysistest contract, reimplemented on the standard library's source
+// importer. The real golang.org/x/tools/go/analysis/analysistest needs
+// go/packages, which is not part of the toolchain's vendored x/tools
+// subset this repo builds its analyzers from; this harness loads fixtures
+// with go/parser + go/types instead, resolving fixture-local imports from
+// testdata/src and everything else from the compiler's source importer,
+// so the analyzer tests run hermetically offline.
+//
+// Usage, from an analyzer package:
+//
+//	atest.Run(t, "testdata", Analyzer, "stencil", "clean/stencil")
+//
+// loads testdata/src/stencil and testdata/src/clean/stencil, runs the
+// analyzer (and, first, its transitive Requires), and asserts that every
+// diagnostic matches a want comment on its line and every want comment is
+// matched by a diagnostic.
+package atest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"reflect"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Run loads each fixture package under dir/src and checks the analyzer's
+// diagnostics against the fixtures' want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	l := newLoader(filepath.Join(dir, "src"))
+	for _, path := range pkgPaths {
+		t.Run(path, func(t *testing.T) {
+			t.Helper()
+			p, err := l.load(path)
+			if err != nil {
+				t.Fatalf("loading fixture %s: %v", path, err)
+			}
+			diags, err := runAnalyzer(l.fset, a, p)
+			if err != nil {
+				t.Fatalf("running %s on %s: %v", a.Name, path, err)
+			}
+			checkWants(t, l.fset, p.files, diags)
+		})
+	}
+}
+
+type loaded struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+type loader struct {
+	srcRoot string
+	fset    *token.FileSet
+	cache   map[string]*loaded
+	std     types.ImporterFrom
+}
+
+func newLoader(srcRoot string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		srcRoot: srcRoot,
+		fset:    fset,
+		cache:   make(map[string]*loaded),
+		std:     importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+	}
+}
+
+// Import makes the loader a types.Importer: fixture packages win over the
+// standard library.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if fi, err := os.Stat(filepath.Join(l.srcRoot, path)); err == nil && fi.IsDir() {
+		p, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+func (l *loader) load(path string) (*loaded, error) {
+	if p, ok := l.cache[path]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(l.srcRoot, path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type error: %w", err)
+	}
+	p := &loaded{pkg: pkg, files: files, info: info}
+	l.cache[path] = p
+	return p, nil
+}
+
+// runAnalyzer runs a and (first) its transitive Requires over the
+// package, returning a's diagnostics.
+func runAnalyzer(fset *token.FileSet, a *analysis.Analyzer, p *loaded) ([]analysis.Diagnostic, error) {
+	results := make(map[*analysis.Analyzer]interface{})
+	facts := &factStore{objects: make(map[factKey]analysis.Fact)}
+	var diags []analysis.Diagnostic
+	var runOne func(a *analysis.Analyzer) error
+	runOne = func(a *analysis.Analyzer) error {
+		if _, done := results[a]; done {
+			return nil
+		}
+		for _, req := range a.Requires {
+			if err := runOne(req); err != nil {
+				return err
+			}
+		}
+		pass := &analysis.Pass{
+			Analyzer:   a,
+			Fset:       fset,
+			Files:      p.files,
+			Pkg:        p.pkg,
+			TypesInfo:  p.info,
+			TypesSizes: types.SizesFor("gc", "amd64"),
+			ResultOf:   results,
+			Report: func(d analysis.Diagnostic) {
+				diags = append(diags, d)
+			},
+			ImportObjectFact:  facts.importObjectFact,
+			ExportObjectFact:  facts.exportObjectFact,
+			ImportPackageFact: func(*types.Package, analysis.Fact) bool { return false },
+			ExportPackageFact: func(analysis.Fact) {},
+			AllObjectFacts:    func() []analysis.ObjectFact { return nil },
+			AllPackageFacts:   func() []analysis.PackageFact { return nil },
+		}
+		res, err := a.Run(pass)
+		if err != nil {
+			return fmt.Errorf("%s: %w", a.Name, err)
+		}
+		results[a] = res
+		return nil
+	}
+	// Run the dependency closure first with reporting discarded — only
+	// the target analyzer's diagnostics are under test.
+	for _, req := range a.Requires {
+		if err := runOne(req); err != nil {
+			return nil, err
+		}
+	}
+	diags = nil
+	err := runOne(a)
+	return diags, err
+}
+
+type factKey struct {
+	obj types.Object
+	typ reflect.Type
+}
+
+type factStore struct {
+	objects map[factKey]analysis.Fact
+}
+
+func (s *factStore) exportObjectFact(obj types.Object, f analysis.Fact) {
+	s.objects[factKey{obj, reflect.TypeOf(f)}] = f
+}
+
+func (s *factStore) importObjectFact(obj types.Object, f analysis.Fact) bool {
+	stored, ok := s.objects[factKey{obj, reflect.TypeOf(f)}]
+	if !ok {
+		return false
+	}
+	reflect.ValueOf(f).Elem().Set(reflect.ValueOf(stored).Elem())
+	return true
+}
+
+var wantRx = regexp.MustCompile(`//\s*want\s+(.*)$`)
+var quotedRx = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+type want struct {
+	file string
+	line int
+	rx   *regexp.Regexp
+	hit  bool
+}
+
+// checkWants asserts the bidirectional match between diagnostics and
+// want comments.
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRx.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, q := range quotedRx.FindAllStringSubmatch(m[1], -1) {
+					pat, err := strconv.Unquote(`"` + q[1] + `"`)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %s: %v", pos, q[0], err)
+					}
+					rx, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+					}
+					wants = append(wants, &want{pos.Filename, pos.Line, rx, false})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == pos.Filename && w.line == pos.Line && w.rx.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: want %q: no matching diagnostic", w.file, w.line, w.rx)
+		}
+	}
+}

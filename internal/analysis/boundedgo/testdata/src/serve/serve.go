@@ -1,0 +1,63 @@
+// Package serve is a boundedgo fixture: goroutine-launch shapes in the
+// serving path, from the PR 4 fan-out bug to the sanctioned worker loops.
+package serve
+
+// Retire launches with no visible bound: one goroutine per call,
+// unbounded across calls.
+func Retire(f func()) {
+	go f() // want "naked goroutine launch"
+}
+
+// FanOut launches per ranged element: the PR 4 goroutine-per-problem bug.
+func FanOut(items []int, f func(int)) {
+	for _, it := range items {
+		go f(it) // want "goroutine launched per ranged element"
+	}
+}
+
+// Workers launches inside a counted loop sized by a worker count.
+func Workers(workers int, f func()) {
+	for i := 0; i < workers; i++ {
+		go f()
+	}
+}
+
+// WorkersRange uses the Go 1.22 range-over-int worker loop.
+func WorkersRange(workers int, f func()) {
+	for range workers {
+		go f()
+	}
+}
+
+// LenBound sizes the loop by the request data: fan-out in disguise.
+func LenBound(items []int, f func(int)) {
+	for i := 0; i < len(items); i++ {
+		go f(i) // want "bounded by len"
+	}
+}
+
+// Guarded sends on a semaphore channel before launching.
+func Guarded(sem chan struct{}, f func()) {
+	sem <- struct{}{}
+	go f()
+}
+
+// Admitted calls an acquire-style admission guard before launching.
+func Admitted(f func()) {
+	acquireSlot()
+	go f()
+}
+
+func acquireSlot() {}
+
+// Allowed is annotated: a deliberate one-per-event launch.
+func Allowed(f func()) {
+	go f() //mglint:allow boundedgo — fixture: one per reload event by design
+}
+
+// Spin launches inside a condition-less loop.
+func Spin(f func()) {
+	for {
+		go f() // want "unbounded for loop"
+	}
+}

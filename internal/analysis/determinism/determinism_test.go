@@ -1,0 +1,12 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"pbmg/internal/analysis/atest"
+	"pbmg/internal/analysis/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	atest.Run(t, "testdata", determinism.Analyzer, "stencil")
+}

@@ -1,0 +1,16 @@
+// Package sched is a determinism fixture dependency: a miniature Pool
+// with the real scheduler's dispatch surface so the analyzer's
+// Pool.Do/ParallelFor reduction check has a type to resolve against.
+package sched
+
+type Pool struct{}
+
+func (p *Pool) Do(n int, f func(i int)) {
+	for i := 0; i < n; i++ {
+		f(i)
+	}
+}
+
+func (p *Pool) ParallelFor(lo, hi int, f func(lo, hi int)) { f(lo, hi) }
+
+func (p *Pool) ParallelForPoints(lo, hi, points int, f func(lo, hi int)) { f(lo, hi) }

@@ -1,0 +1,88 @@
+// Package stencil is a determinism fixture: each nondeterminism hazard
+// the analyzer flags, next to its sanctioned deterministic counterpart.
+package stencil
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"sched"
+)
+
+// SweepTimed reads the wall clock inside kernel code.
+func SweepTimed() time.Time {
+	return time.Now() // want "determinism: time.Now"
+}
+
+// Jitter draws from the shared global math/rand source.
+func Jitter() float64 {
+	return rand.Float64() // want "global math/rand draw"
+}
+
+// SeededOK draws from an explicitly seeded generator: deterministic.
+func SeededOK() float64 {
+	r := rand.New(rand.NewSource(1))
+	return r.Float64()
+}
+
+// MapSum accumulates floats in map iteration order.
+func MapSum(m map[int]float64) float64 {
+	var s float64
+	for _, v := range m { // want "floating-point accumulation over map iteration order"
+		s += v
+	}
+	return s
+}
+
+// MapSumSortedOK iterates a sorted key slice: association is fixed.
+func MapSumSortedOK(m map[int]float64) float64 {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	var s float64
+	for _, k := range keys {
+		s += m[k]
+	}
+	return s
+}
+
+// MapCountOK counts entries: integer accumulation is order-free.
+func MapCountOK(m map[int]float64) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// ParSum compound-assigns a captured float from a ParallelFor body: the
+// sum lands in scheduling order.
+func ParSum(p *sched.Pool, xs []float64) float64 {
+	var s float64
+	p.ParallelFor(0, len(xs), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			s += xs[i] // want "parallel reduction accumulates a captured float"
+		}
+	})
+	return s
+}
+
+// ParSumChunksOK reduces through ParallelForPoints with per-chunk
+// partials: the sanctioned fixed-association reduction.
+func ParSumChunksOK(p *sched.Pool, xs, partials []float64) float64 {
+	p.ParallelForPoints(0, len(xs), len(xs), func(lo, hi int) {
+		var local float64
+		for i := lo; i < hi; i++ {
+			local += xs[i]
+		}
+		partials[lo] = local
+	})
+	var s float64
+	for _, v := range partials {
+		s += v
+	}
+	return s
+}

@@ -1,0 +1,12 @@
+package dimguard_test
+
+import (
+	"testing"
+
+	"pbmg/internal/analysis/atest"
+	"pbmg/internal/analysis/dimguard"
+)
+
+func TestDimguard(t *testing.T) {
+	atest.Run(t, "testdata", dimguard.Analyzer, "cycle")
+}

@@ -1,0 +1,70 @@
+// Package cycle is the dimguard fixture proper: dimension-mismatched
+// accessor calls that today panic at runtime, caught statically when the
+// constructor is visible in the same function.
+package cycle
+
+import (
+	"grid"
+	"transfer"
+)
+
+// Mismatch2DAccessor: a 3D grid through a 2D-only accessor.
+func Mismatch2DAccessor() float64 {
+	g := grid.New3(9)
+	return g.At(1, 1) // want "2D-only At"
+}
+
+// Mismatch3DAccessor: a 2D grid through a 3D-only accessor.
+func Mismatch3DAccessor() []float64 {
+	g := grid.New(9)
+	return g.Row3(1, 1) // want "3D-only Row3"
+}
+
+// MismatchNewDim: the dimension is a constant argument, still decidable.
+func MismatchNewDim() {
+	g := grid.NewDim(3, 9)
+	g.Set(1, 1, 0) // want "2D-only Set"
+}
+
+// MatchedOK: accessors agreeing with the constructed dimension.
+func MatchedOK() float64 {
+	g2 := grid.New(9)
+	g3 := grid.New3(9)
+	g2.Set(1, 1, g3.At3(1, 1, 1))
+	return g2.At(1, 1)
+}
+
+// ReassignedOK: a flow join stops the tracking, no finding either way.
+func ReassignedOK(use3 bool) float64 {
+	g := grid.New(9)
+	if use3 {
+		g = grid.New3(9)
+	}
+	return g.At3(1, 1, 1)
+}
+
+// DynamicDimOK: a non-constant NewDim argument is not tracked.
+func DynamicDimOK(dim int) float64 {
+	g := grid.NewDim(dim, 9)
+	return g.At(1, 1)
+}
+
+// CoefMismatch: 3D grids into the 2D-only transfer.RestrictCoef.
+func CoefMismatch() {
+	c := grid.New3(5)
+	f := grid.New3(9)
+	transfer.RestrictCoef(c, f) // want "transfer.RestrictCoef" "transfer.RestrictCoef"
+}
+
+// CoefOK: 2D grids into RestrictCoef.
+func CoefOK() {
+	c := grid.New(5)
+	f := grid.New(9)
+	transfer.RestrictCoef(c, f)
+}
+
+// Allowed: the annotation suppresses a deliberate mismatch (fixture use).
+func Allowed() float64 {
+	g := grid.New3(9)
+	return g.At(1, 1) //mglint:allow dimguard — fixture: exercising the runtime guard
+}

@@ -1,0 +1,7 @@
+// Package transfer is a dimguard fixture dependency: RestrictCoef is
+// 2D-only by contract, checked as a callee.
+package transfer
+
+import "grid"
+
+func RestrictCoef(coarse, fine *grid.G) {}

@@ -1,0 +1,12 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"pbmg/internal/analysis/atest"
+	"pbmg/internal/analysis/hotalloc"
+)
+
+func TestHotalloc(t *testing.T) {
+	atest.Run(t, "testdata", hotalloc.Analyzer, "stencil")
+}

@@ -1,0 +1,12 @@
+package poolput_test
+
+import (
+	"testing"
+
+	"pbmg/internal/analysis/atest"
+	"pbmg/internal/analysis/poolput"
+)
+
+func TestPoolput(t *testing.T) {
+	atest.Run(t, "testdata", poolput.Analyzer, "mg")
+}

@@ -87,3 +87,32 @@ func TestCacheBoundedConcurrent(t *testing.T) {
 		t.Fatalf("after concurrent rotation: %d entries, capacity 3", got)
 	}
 }
+
+// TestCachePanickingFactorizationNotPinned: a factorization that panics
+// (here: an invalid grid side) must not leave its in-flight entry behind.
+// evictLocked never evicts !done entries, so before the cleanup in GetOp a
+// panicking key pinned an unevictable slot in the map forever — Len crept
+// up and a bounded cache rotating over bad keys grew without limit.
+func TestCachePanickingFactorizationNotPinned(t *testing.T) {
+	c := NewCache(2)
+	for i := 0; i < 3; i++ {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("Get(1) did not panic")
+				}
+			}()
+			c.Get(1) // side too small: factorization panics
+		}()
+	}
+	if got := c.Len(); got != 0 {
+		t.Fatalf("after panicking factorizations, Len() = %d, want 0 (entries must not be pinned)", got)
+	}
+	// The same key stays retryable and the cache still serves good keys.
+	if s := c.Get(9); s == nil || s.N() != 9 {
+		t.Fatal("cache broken after panicking factorization")
+	}
+	if got := c.Len(); got != 1 {
+		t.Fatalf("Len() = %d, want 1", got)
+	}
+}

@@ -189,7 +189,22 @@ func (c *Cache) GetOp(op *stencil.Operator, n int) InteriorSolver {
 		e.mu.Lock()
 		defer e.mu.Unlock()
 		if !e.done.Load() {
-			e.s = NewInteriorSolver(op, n) // a panic here propagates; done stays false
+			// A panicking factorization propagates to the caller, but the
+			// in-flight entry must not stay behind: evictLocked never evicts
+			// !done entries, so without this cleanup every distinct panicking
+			// key would pin an unevictable slot in the map forever. Drop the
+			// entry (identity-checked: a concurrent retry may have replaced
+			// it) so the key is re-factored or forgotten instead.
+			defer func() {
+				if !e.done.Load() {
+					c.mu.Lock()
+					if c.entries[key] == e {
+						delete(c.entries, key)
+					}
+					c.mu.Unlock()
+				}
+			}()
+			e.s = NewInteriorSolver(op, n)
 			e.done.Store(true)
 		}
 	}()

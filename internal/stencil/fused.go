@@ -229,7 +229,7 @@ func SweepWithNorm[T grid.Float](pool *sched.Pool, x, b *grid.G[T], h, omega T) 
 // produce the same bits.
 func finishSweepNorm[T grid.Float](pool *sched.Pool, x, b *grid.G[T], h2, inv, omega, rFac T) float64 {
 	n := x.N()
-	sums := make([]float64, n)
+	sums := make([]float64, n) //mglint:allow hotalloc — per-call norm partials, one float64 per row; fixed-chunk deterministic reduction
 	parallelRows(pool, n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			xr := x.Row(i)
@@ -269,7 +269,7 @@ func finishSweepNorm[T grid.Float](pool *sched.Pool, x, b *grid.G[T], h2, inv, o
 func residualNormPar[T grid.Float](pool *sched.Pool, x, b *grid.G[T], h T) float64 {
 	n := x.N()
 	inv := 1 / (h * h)
-	sums := make([]float64, n)
+	sums := make([]float64, n) //mglint:allow hotalloc — per-call norm partials, one float64 per row; fixed-chunk deterministic reduction
 	parallelRows(pool, n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			xr := x.Row(i)
@@ -292,7 +292,7 @@ func residualNormPar[T grid.Float](pool *sched.Pool, x, b *grid.G[T], h T) float
 // expression is the unfused Residual kernel's.
 func residualRowPoisson[T grid.Float](x, b *grid.G[T], inv T) func(fi int, dst []T) {
 	n := x.N()
-	return func(fi int, dst []T) {
+	return func(fi int, dst []T) { //mglint:allow hotalloc — kernel factory: one row-provider closure per fused cycle, not per point
 		xr := x.Row(fi)
 		up := x.Row(fi - 1)
 		down := x.Row(fi + 1)
@@ -424,7 +424,7 @@ func finishSweepNormConst[T grid.Float](pool *sched.Pool, x, b *grid.G[T], h2, i
 	center := 2 * (cx + cy)
 	invC := 1 / center
 	rFac := center * (1 - omega) * inv
-	sums := make([]float64, n)
+	sums := make([]float64, n) //mglint:allow hotalloc — per-call norm partials; fixed-chunk deterministic reduction
 	parallelRows(pool, n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			xr := x.Row(i)
@@ -465,7 +465,7 @@ func residualNormParConst[T grid.Float](pool *sched.Pool, x, b *grid.G[T], h, cx
 	n := x.N()
 	inv := 1 / (h * h)
 	center := 2 * (cx + cy)
-	sums := make([]float64, n)
+	sums := make([]float64, n) //mglint:allow hotalloc — per-call norm partials; fixed-chunk deterministic reduction
 	parallelRows(pool, n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			xr := x.Row(i)
@@ -488,7 +488,7 @@ func residualNormParConst[T grid.Float](pool *sched.Pool, x, b *grid.G[T], h, cx
 func residualRowConst[T grid.Float](x, b *grid.G[T], inv, cx, cy T) func(fi int, dst []T) {
 	n := x.N()
 	center := 2 * (cx + cy)
-	return func(fi int, dst []T) {
+	return func(fi int, dst []T) { //mglint:allow hotalloc — kernel factory: one row-provider closure per fused cycle, not per point
 		xr := x.Row(fi)
 		up := x.Row(fi - 1)
 		down := x.Row(fi + 1)
@@ -612,7 +612,7 @@ func sweepWithNormVar[T grid.Float](pool *sched.Pool, x, b *grid.G[T], h, omega 
 func finishSweepNormVar[T grid.Float](pool *sched.Pool, x, b *grid.G[T], h2, inv, omega T, c *grid.G[T]) float64 {
 	n := x.N()
 	oneMinus := 1 - omega
-	sums := make([]float64, n)
+	sums := make([]float64, n) //mglint:allow hotalloc — per-call norm partials; fixed-chunk deterministic reduction
 	parallelRows(pool, n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			xr := x.Row(i)
@@ -669,7 +669,7 @@ func finishSweepNormVar[T grid.Float](pool *sched.Pool, x, b *grid.G[T], h2, inv
 func residualNormParVar[T grid.Float](pool *sched.Pool, x, b *grid.G[T], h T, c *grid.G[T]) float64 {
 	n := x.N()
 	inv := 1 / (h * h)
-	sums := make([]float64, n)
+	sums := make([]float64, n) //mglint:allow hotalloc — per-call norm partials; fixed-chunk deterministic reduction
 	parallelRows(pool, n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			xr := x.Row(i)
@@ -699,7 +699,7 @@ func residualNormParVar[T grid.Float](pool *sched.Pool, x, b *grid.G[T], h T, c 
 // stencil.
 func residualRowVar[T grid.Float](x, b *grid.G[T], inv T, c *grid.G[T]) func(fi int, dst []T) {
 	n := x.N()
-	return func(fi int, dst []T) {
+	return func(fi int, dst []T) { //mglint:allow hotalloc — kernel factory: one row-provider closure per fused cycle, not per point
 		xr := x.Row(fi)
 		up := x.Row(fi - 1)
 		down := x.Row(fi + 1)

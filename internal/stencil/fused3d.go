@@ -177,7 +177,7 @@ func sweepWithNorm3[T grid.Float](pool *sched.Pool, x, b *grid.G[T], h, omega T)
 // half-pass. Shared by sweepWithNorm3 and the fused upstroke.
 func finishSweepNorm3[T grid.Float](pool *sched.Pool, x, b *grid.G[T], h2, inv, omega, rFac T) float64 {
 	n := x.N()
-	sums := make([]float64, n)
+	sums := make([]float64, n) //mglint:allow hotalloc — per-call norm partials, one float64 per plane; fixed-chunk deterministic reduction
 	parallelPlanes(pool, n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			var s float64
@@ -225,7 +225,7 @@ func finishSweepNorm3[T grid.Float](pool *sched.Pool, x, b *grid.G[T], h2, inv, 
 func residualNormPar3[T grid.Float](pool *sched.Pool, x, b *grid.G[T], h T) float64 {
 	n := x.N()
 	inv := 1 / (h * h)
-	sums := make([]float64, n)
+	sums := make([]float64, n) //mglint:allow hotalloc — per-call norm partials, one float64 per plane; fixed-chunk deterministic reduction
 	parallelPlanes(pool, n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			var s float64
@@ -252,7 +252,7 @@ func residualNormPar3[T grid.Float](pool *sched.Pool, x, b *grid.G[T], h T) floa
 // per-point expression bit for bit.
 func residualPlane3[T grid.Float](x, b *grid.G[T], inv T) func(fi int, dst []T) {
 	n := x.N()
-	return func(fi int, dst []T) {
+	return func(fi int, dst []T) { //mglint:allow hotalloc — kernel factory: one plane-provider closure per fused cycle, not per point
 		for k := 0; k < n; k++ {
 			dst[k], dst[(n-1)*n+k] = 0, 0
 		}

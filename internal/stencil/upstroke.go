@@ -137,7 +137,7 @@ func interpCorrectRows[T grid.Float](pool *sched.Pool, x, cx *grid.G[T], redRow 
 		}
 	}
 	if pool == nil {
-		buf := make([]T, n)
+		buf := make([]T, n) //mglint:allow hotalloc — per-upstroke interp correction row buffer, O(n) per V-cycle level
 		correct(buf, 1)
 		for i := 2; i < n-1; i++ {
 			correct(buf, i)
@@ -147,7 +147,7 @@ func interpCorrectRows[T grid.Float](pool *sched.Pool, x, cx *grid.G[T], redRow 
 		return
 	}
 	parallelRows(pool, n, func(lo, hi int) {
-		buf := make([]T, n)
+		buf := make([]T, n) //mglint:allow hotalloc — per-chunk interp correction row buffer, O(n) per upstroke
 		for i := lo; i < hi; i++ {
 			correct(buf, i)
 		}

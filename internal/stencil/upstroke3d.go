@@ -30,8 +30,8 @@ func interpCorrectPlanes[T grid.Float](pool *sched.Pool, x, cx *grid.G[T], redPl
 		}
 	}
 	if pool == nil {
-		buf := make([]T, n)
-		tmp := make([]T, n)
+		buf := make([]T, n) //mglint:allow hotalloc — per-upstroke interp correction plane row buffer, O(n) per V-cycle level
+		tmp := make([]T, n) //mglint:allow hotalloc — per-upstroke interp correction plane row buffer (PR 6)
 		correct(buf, tmp, 1)
 		for i := 2; i < n-1; i++ {
 			correct(buf, tmp, i)
@@ -41,8 +41,8 @@ func interpCorrectPlanes[T grid.Float](pool *sched.Pool, x, cx *grid.G[T], redPl
 		return
 	}
 	parallelPlanes(pool, n, func(lo, hi int) {
-		buf := make([]T, n)
-		tmp := make([]T, n)
+		buf := make([]T, n) //mglint:allow hotalloc — per-chunk interp correction row buffer, O(n) per upstroke
+		tmp := make([]T, n) //mglint:allow hotalloc — per-chunk interp correction row buffer, O(n) per upstroke
 		for i := lo; i < hi; i++ {
 			correct(buf, tmp, i)
 		}

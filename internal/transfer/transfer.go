@@ -148,9 +148,9 @@ func RestrictResidual[T grid.Float](pool *sched.Pool, coarse *grid.G[T], nf int,
 	}
 	coarse.ZeroBoundary()
 	body := func(lo, hi int) {
-		up := make([]T, nf)
-		mid := make([]T, nf)
-		down := make([]T, nf)
+		up := make([]T, nf)   //mglint:allow hotalloc — per-chunk rolling-window residual row buffer, O(n) per restriction, cache-resident by design (PR 5)
+		mid := make([]T, nf)  //mglint:allow hotalloc — per-chunk rolling-window residual row buffer (PR 5)
+		down := make([]T, nf) //mglint:allow hotalloc — per-chunk rolling-window residual row buffer (PR 5)
 		for ci := lo; ci < hi; ci++ {
 			fi := 2 * ci
 			if ci == lo {
@@ -193,10 +193,12 @@ func restrictSep3[T grid.Float](pool *sched.Pool, coarse *grid.G[T], nf int, mkC
 	coarse.ZeroBoundary()
 	body := func(lo, hi int) {
 		compress := mkCompress()
-		kc := make([]T, nf*nc) // k-compressed rows of the current plane
-		wu := make([]T, nc*nc) // fully pre-weighted (k and j) planes
-		wm := make([]T, nc*nc)
-		wd := make([]T, nc*nc)
+		// kc holds k-compressed rows of the current plane; wu/wm/wd the
+		// fully pre-weighted (k and j) planes.
+		kc := make([]T, nf*nc) //mglint:allow hotalloc — per-chunk k-compressed row scratch, O(n*nc) per restriction (PR 5 separable restriction)
+		wu := make([]T, nc*nc) //mglint:allow hotalloc — per-chunk pre-weighted plane scratch, O(nc²) per restriction (PR 5)
+		wm := make([]T, nc*nc) //mglint:allow hotalloc — per-chunk pre-weighted plane scratch (PR 5)
+		wd := make([]T, nc*nc) //mglint:allow hotalloc — per-chunk pre-weighted plane scratch (PR 5)
 		preweight := func(fi int, w []T) {
 			compress(fi, kc)
 			for cj := 1; cj < nc-1; cj++ {
@@ -260,8 +262,8 @@ func RestrictResidual3[T grid.Float](pool *sched.Pool, coarse *grid.G[T], nf int
 		panic(fmt.Sprintf("transfer: RestrictResidual3 needs a 3D coarse grid, got %dD", coarse.Dim()))
 	}
 	restrictSep3(pool, coarse, nf, func() func(fi int, kc []T) {
-		plane := make([]T, nf*nf)
-		return func(fi int, kc []T) {
+		plane := make([]T, nf*nf)     //mglint:allow hotalloc — per-invocation residual plane scratch, O(n²) per restriction
+		return func(fi int, kc []T) { //mglint:allow hotalloc — provider closure: one allocation per restriction, not per point
 			resPlane(fi, plane)
 			for j := 1; j < nf-1; j++ {
 				kCompressRow(plane[j*nf:(j+1)*nf], kc[j*nc:(j+1)*nc], nc)
@@ -283,7 +285,7 @@ func RestrictSep3[T grid.Float](pool *sched.Pool, coarse, fine *grid.G[T]) {
 	}
 	nf, nc := fine.N(), coarse.N()
 	restrictSep3(pool, coarse, nf, func() func(fi int, kc []T) {
-		return func(fi int, kc []T) {
+		return func(fi int, kc []T) { //mglint:allow hotalloc — provider closure: one allocation per restriction, not per point
 			for j := 1; j < nf-1; j++ {
 				kCompressRow(fine.Row3(fi, j), kc[j*nc:(j+1)*nc], nc)
 			}
@@ -406,8 +408,8 @@ func interpolate3[T grid.Float](pool *sched.Pool, fine, coarse *grid.G[T]) {
 	oddRow := func(fr, cr, next []T) { interpOddRow(fr, cr, next, nc) }
 	body := func(lo, hi int) {
 		// Per-chunk scratch rows for the odd-plane averages.
-		row := make([]T, nf)
-		rowNext := make([]T, nf)
+		row := make([]T, nf)     //mglint:allow hotalloc — per-chunk odd-plane average row scratch, O(n) per interpolation
+		rowNext := make([]T, nf) //mglint:allow hotalloc — per-chunk odd-plane average row scratch, O(n) per interpolation
 		average := func(dst, a, b []T) {
 			for k := range dst {
 				dst[k] = 0.5 * (a[k] + b[k])
@@ -470,8 +472,8 @@ func InterpolateAddFused[T grid.Float](pool *sched.Pool, x, coarse *grid.G[T]) {
 	nf := x.N()
 	if x.Dim() == 3 {
 		body := func(lo, hi int) {
-			buf := make([]T, nf)
-			tmp := make([]T, nf)
+			buf := make([]T, nf) //mglint:allow hotalloc — per-chunk interpolation row scratch, O(n) per transfer
+			tmp := make([]T, nf) //mglint:allow hotalloc — per-chunk interpolation row scratch, O(n) per transfer
 			for fi := lo; fi < hi; fi++ {
 				for fj := 1; fj < nf-1; fj++ {
 					InterpRow3(buf, tmp, coarse, fi, fj)
@@ -490,7 +492,7 @@ func InterpolateAddFused[T grid.Float](pool *sched.Pool, x, coarse *grid.G[T]) {
 		return
 	}
 	body := func(lo, hi int) {
-		buf := make([]T, nf)
+		buf := make([]T, nf) //mglint:allow hotalloc — per-chunk interpolation row scratch, O(n) per transfer
 		for fi := lo; fi < hi; fi++ {
 			InterpRow(buf, coarse, fi)
 			xr := x.Row(fi)
@@ -551,7 +553,7 @@ func RestrictProblem(pool *sched.Pool, coarseB, fineB, coarseX, fineX *grid.Grid
 				cr[ck] = fr[2*ck]
 			}
 		}
-		for _, ci := range []int{0, nc - 1} {
+		for _, ci := range [2]int{0, nc - 1} {
 			for cj := 0; cj < nc; cj++ {
 				injectRow(ci, cj)
 			}

@@ -133,7 +133,7 @@ func (s *Server) Reload() (int64, error) {
 	s.cur = next
 	v := s.version.Add(1)
 	s.mu.Unlock()
-	go old.retire()
+	go old.retire() //mglint:allow boundedgo — one retire goroutine per reload generation, bounded by reload rate
 	s.logf("reloaded %s: %d families (version %d)", s.cfg.Dir, len(next.order), v)
 	return v, nil
 }
