@@ -1,8 +1,12 @@
 // Command mgserved is the HTTP serving daemon: it loads a directory of
 // tuned-table JSON files (as written by mgtune) into a pbmg.Registry and
 // serves JSON solve requests over HTTP with per-family admission quotas,
-// bounded queues with explicit load-shedding, hot-reload, and graceful
-// drain.
+// bounded queues with explicit load-shedding, hot-reload, graceful drain,
+// and fault-hardened solves: request deadlines cancel admitted solves
+// mid-cycle, diverged reduced-precision solves escalate to float64, kernel
+// panics answer 500 without taking the process down, and a per-family
+// circuit breaker (-breaker-threshold, -breaker-cooldown) sheds 503 +
+// Retry-After after consecutive solver failures.
 //
 //	mgserved -addr :8080 -configdir tables/ -quota poisson=6,poisson3d=2
 //	mgserved -addr :8080 -families poisson,poisson3d -size 65 -size3d 17
@@ -16,9 +20,11 @@
 //
 //	POST /v1/solve   {"family","eps","n","accuracy","b":[...],"x":[...]}
 //	POST /v1/batch   one family's batch under one queue slot
-//	GET  /metrics    per-family admission/queue/shed counters
-//	GET  /healthz    200 serving, 503 draining
+//	GET  /metrics    per-family admission/queue/shed/failure counters
+//	GET  /healthz    200 while the process serves, 503 draining
+//	GET  /readyz     200 ready; 503 when draining or a breaker is open
 //	POST /-/reload   same as SIGHUP, over HTTP
+//	POST /-/fault    chaos builds only (-tags faultinject): arm fault spec
 package main
 
 import (
@@ -51,8 +57,10 @@ func main() {
 	quota := flag.String("quota", "", "per-family concurrent-solve quotas, e.g. poisson=6,aniso:0.01=4,poisson3d=2")
 	quotaDefault := flag.Int("quota-default", 0, "quota for families not named in -quota (0: global limit only)")
 	queue := flag.Int("queue", 0, "per-family admission queue depth before shedding 429s (0: 4×quota)")
-	maxWait := flag.Duration("maxwait", serve.DefaultMaxWait, "admission wait bound for requests without a deadline")
+	maxWait := flag.Duration("maxwait", serve.DefaultMaxWait, "request timeout (admission + solve) for requests without a deadline")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight solves on SIGTERM")
+	breakerThreshold := flag.Int("breaker-threshold", 0, "consecutive solver failures opening a family's circuit breaker (0: default 5)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 0, "open-breaker shed window before a half-open probe (0: default 5s)")
 	flag.Parse()
 
 	logf := func(format string, args ...any) {
@@ -66,6 +74,7 @@ func main() {
 		DefaultQuota: *quotaDefault,
 		QueueDepth:   *queue,
 		MaxWait:      *maxWait,
+		Breaker:      pbmg.BreakerConfig{Threshold: *breakerThreshold, Cooldown: *breakerCooldown},
 		Logf:         logf,
 	}
 	if *quota != "" {

@@ -94,6 +94,20 @@ func MaxAbsInterior[T Float](g *G[T]) float64 {
 	return m
 }
 
+// HasNonFinite reports whether any entry of g (boundary included) is NaN or
+// ±Inf. It is the divergence probe for the f32 solve paths, which have no
+// residual norms to watch: a full-array scan off the hot loop, run once per
+// reduced-precision cell.
+func HasNonFinite[T Float](g *G[T]) bool {
+	for _, v := range g.data {
+		f := float64(v)
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return true
+		}
+	}
+	return false
+}
+
 // AccuracyLevel implements the paper's accuracy metric (§2.2): the ratio of
 // the input error norm to the output error norm, both measured against the
 // optimal solution xopt. Higher is better. If the output error is zero

@@ -1,8 +1,11 @@
 package mg
 
 import (
+	"context"
 	"fmt"
+	"math"
 
+	"pbmg/internal/faultinject"
 	"pbmg/internal/grid"
 	"pbmg/internal/transfer"
 )
@@ -21,6 +24,18 @@ type Executor struct {
 	V   *VTable
 	F   *FTable
 	Rec Recorder
+
+	// Ctx, when non-nil, is polled at cycle and level boundaries: once it
+	// is done the solve aborts with an error wrapping ErrCancelled
+	// (delivered through Run), returning every pooled scratch buffer on
+	// the way out. Nil (the default) costs nothing.
+	Ctx context.Context
+
+	// ForceF64 ignores the plans' precision directives and runs every cell
+	// in float64 storage — the escalation retry after an f32/mixed cell
+	// diverged (see ErrDiverged). The cycle shapes and iteration counts
+	// stay exactly as tuned; only the storage precision is pinned.
+	ForceF64 bool
 }
 
 // SolveV runs the tuned MULTIGRID-Vᵢ algorithm for accuracy index accIdx on
@@ -46,7 +61,7 @@ func solveVOf[T grid.Float](e *Executor, x, b *grid.G[T], accIdx int) {
 		return
 	}
 	plan := e.V.Plan(level, accIdx)
-	if grid.Bits[T]() == 64 {
+	if grid.Bits[T]() == 64 && !e.ForceF64 {
 		switch plan.Precision {
 		case PrecF32:
 			x64 := any(x).(*grid.Grid)
@@ -72,10 +87,12 @@ func solveVPlan[T grid.Float](e *Executor, x, b *grid.G[T], plan Plan) {
 		sorOf(e.WS, x, b, e.WS.OmegaOpt(x.N()), plan.Iters, e.Rec)
 	case ChoiceRecurse:
 		for it := 0; it < plan.Iters; it++ {
+			e.checkpoint()
 			recurseOf(e, x, b, plan.Sub)
 		}
 	case ChoiceVCycle:
 		for it := 0; it < plan.Iters; it++ {
+			e.checkpoint()
 			refVCycleOf(e.WS, x, b, e.Rec)
 		}
 	default:
@@ -94,7 +111,18 @@ func (e *Executor) solveVF32(x, b *grid.Grid, plan Plan) {
 	x32, b32 := bufs.r, bufs.scratch
 	grid.ConvertInto(x32, x)
 	grid.ConvertInto(b32, b)
+	if faultinject.Enabled && faultinject.PointLevel("mg.f32.nan", grid.Level(x.N())) {
+		x32.Data()[len(x32.Data())/2] = float32(math.NaN())
+	}
 	solveVPlan(e, x32, b32, plan)
+	// The f32 cycle has no residual norms to watch, so divergence shows up
+	// as a non-finite iterate: inputs past float32's dynamic range round to
+	// ±Inf on entry and poison the sweeps. One read pass over the f32 state
+	// catches it before the garbage is written back into the caller's f64
+	// grid, and the abort's unwind returns the scratch pair above.
+	if grid.HasNonFinite(x32) {
+		abortDiverged("f32 plan at n=%d produced a non-finite iterate", x.N())
+	}
 	grid.ConvertInteriorInto(x, x32)
 }
 
@@ -120,9 +148,23 @@ func (e *Executor) solveVMixed(x, b *grid.Grid, plan Plan) {
 	e32, r32 := f32.r, f32.scratch
 	step := plan
 	step.Iters = 1
+	var r0 float64
 	for it := 0; it < plan.Iters; it++ {
+		e.checkpoint()
 		op.Residual(e.WS.Pool, r, x, b, h)
 		record(e.Rec, EvResidual, lvl, 1)
+		// The refinement loop already materializes the f64 defect each
+		// iteration, so its norm is the natural divergence probe: NaN/Inf
+		// means the f32 step poisoned the iterate, and growth past
+		// divergenceGrowth× the starting norm means refinement is expanding
+		// instead of contracting.
+		rn := grid.L2Interior(r)
+		if nonFinite(rn) || (it > 0 && rn > divergenceGrowth*r0) {
+			abortDiverged("mixed refinement residual %g after %d iterations (started at %g)", rn, it, r0)
+		}
+		if it == 0 {
+			r0 = rn
+		}
 		grid.ConvertInto(r32, r)
 		e32.Zero()
 		solveVPlan(e, e32, r32, step)
@@ -156,6 +198,10 @@ func (e *Executor) Recurse(x, b *grid.Grid, subIdx int) {
 // re-enters the tuned dispatch, so in float64 a coarser cell's precision
 // directive is honored mid-cycle.
 func recurseOf[T grid.Float](e *Executor, x, b *grid.G[T], subIdx int) {
+	// The between-levels checkpoint: deep cycles re-enter here once per
+	// level, so a cancelled context stops the descent without waiting for
+	// the full cycle to come back up.
+	e.checkpoint()
 	recurseWithOf(e.WS, x, b, e.Rec, func(cx, cb *grid.G[T]) {
 		solveVOf(e, cx, cb, subIdx)
 	}, nil)
@@ -174,6 +220,7 @@ func (e *Executor) RecurseNorm(x, b *grid.Grid, subIdx int) float64 {
 // SolveFull runs the tuned FULL-MULTIGRIDᵢ algorithm for accuracy index
 // accIdx on x in place.
 func (e *Executor) SolveFull(x, b *grid.Grid, accIdx int) {
+	e.checkpoint()
 	level := grid.Level(x.N())
 	if level < 1 {
 		panic(fmt.Sprintf("mg: grid size %d is not 2^k+1", x.N()))
@@ -200,6 +247,7 @@ func (e *Executor) SolveFull(x, b *grid.Grid, accIdx int) {
 			}
 		case ChoiceVCycle:
 			for it := 0; it < plan.Iters; it++ {
+				e.checkpoint()
 				e.WS.RefVCycle(x, b, e.Rec)
 			}
 		default:

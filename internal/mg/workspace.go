@@ -2,9 +2,12 @@ package mg
 
 import (
 	"fmt"
+	"math"
 	"sync"
+	"sync/atomic"
 
 	"pbmg/internal/direct"
+	"pbmg/internal/faultinject"
 	"pbmg/internal/grid"
 	"pbmg/internal/sched"
 	"pbmg/internal/stencil"
@@ -61,7 +64,19 @@ type Workspace struct {
 
 	cache direct.Cache // private factor-once cache when FactorCache is nil
 	arena sync.Map     // [2]int{n, bits} -> *sync.Pool of *levelBufsG[T]
+
+	// outstanding counts scratch sets currently checked out across every
+	// size and precision — the checkout/release balance the pool-hygiene
+	// tests assert returns to zero after cancelled, diverged, and panicked
+	// solves.
+	outstanding atomic.Int64
 }
+
+// ScratchOutstanding reports the number of scratch sets currently checked
+// out of the arena. It is zero whenever no solve is in flight: every
+// abort path (cancellation, divergence, panic) unwinds through the
+// `defer release` of each level it entered.
+func (ws *Workspace) ScratchOutstanding() int64 { return ws.outstanding.Load() }
 
 // factorCache resolves the direct-factor cache in use (shared or private).
 func (ws *Workspace) factorCache() *direct.Cache {
@@ -130,6 +145,9 @@ func (ws *Workspace) checkout(n int) *levelBufs { return checkoutOf[float64](ws,
 // scratch sets by (size, precision), so f32 cycle steps recycle their own
 // buffer population without disturbing the f64 one.
 func checkoutOf[T grid.Float](ws *Workspace, n int) *levelBufsG[T] {
+	if faultinject.Enabled {
+		faultinject.Point("mg.pool.checkout") // delay here simulates pool starvation
+	}
 	key := [2]int{n, grid.Bits[T]()}
 	pi, ok := ws.arena.Load(key)
 	if !ok {
@@ -141,6 +159,7 @@ func checkoutOf[T grid.Float](ws *Workspace, n int) *levelBufsG[T] {
 		dim := ws.Operator().Dim()
 		pi, _ = ws.arena.LoadOrStore(key, &sync.Pool{New: func() any { return newLevelBufs[T](dim, n) }})
 	}
+	ws.outstanding.Add(1)
 	return pi.(*sync.Pool).Get().(*levelBufsG[T])
 }
 
@@ -150,6 +169,7 @@ func (ws *Workspace) release(b *levelBufs) { releaseOf(ws, b) }
 func releaseOf[T grid.Float](ws *Workspace, b *levelBufsG[T]) {
 	pi, _ := ws.arena.Load([2]int{b.n, grid.Bits[T]()})
 	pi.(*sync.Pool).Put(b)
+	ws.outstanding.Add(-1)
 }
 
 // SolveDirect overwrites x's interior with the exact solution of T·x = b via
@@ -330,6 +350,12 @@ func recurseWithOf[T grid.Float](ws *Workspace, x, b *grid.G[T], rec Recorder, c
 	n := x.N()
 	h := T(1.0 / float64(n-1))
 	op := ws.opAt(n)
+	if faultinject.Enabled {
+		faultinject.Point("mg.cycle")
+		if faultinject.PointLevel("mg.cycle.nan", grid.Level(n)) {
+			x.Data()[len(x.Data())/2] = T(math.NaN())
+		}
+	}
 	if n == 3 {
 		solveDirectOf(ws, x, b, rec)
 		if norm != nil {

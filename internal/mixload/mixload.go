@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/rand"
 	"net/http"
 	"sort"
 	"sync"
@@ -63,6 +64,12 @@ type Options struct {
 	Dist pbmg.Distribution
 	// Seed derives each client's per-family problem rotation.
 	Seed int64
+	// Retries is the per-request retry budget for shed HTTP answers (429
+	// queue full, 503 breaker/deadline/drain): each retry honors the
+	// server's Retry-After hint when present and falls back to jittered
+	// exponential backoff otherwise. 0 disables retries (every shed counts
+	// immediately); ignored in in-process mode.
+	Retries int
 }
 
 // rotation is the number of pre-drawn problems per (client, family).
@@ -86,6 +93,12 @@ type Result struct {
 	// request already admitted when the deadline hit — never a queue wait
 	// on top.
 	Overshoot time.Duration
+	// Retries429 and Retries503 count HTTP-mode retry attempts by the shed
+	// class that triggered them (429 queue full vs 503 breaker, deadline, or
+	// drain), so a report shows which back-pressure mechanism the workload
+	// was leaning on. Both stay 0 with Options.Retries == 0.
+	Retries429 int64
+	Retries503 int64
 }
 
 // families returns the family count of either mode.
@@ -203,6 +216,10 @@ func Run(o Options) (*Result, error) {
 		Shed:      shed.Load(),
 		Overshoot: time.Duration(overshootNS.Load()),
 	}
+	if hi, ok := issue.(*httpIssuer); ok {
+		res.Retries429 = hi.retries429.Load()
+		res.Retries503 = hi.retries503.Load()
+	}
 	for c := range lat {
 		for fi, ls := range lat[c] {
 			res.PerFamily[fi] = append(res.PerFamily[fi], ls...)
@@ -266,6 +283,17 @@ func (li *localIssuer) solve(ctx context.Context, reqs any, fi, slot int) error 
 type httpIssuer struct {
 	o  Options
 	cl *serve.Client
+
+	retries429 atomic.Int64
+	retries503 atomic.Int64
+}
+
+// httpClientState is one client's prepared state: its request rotation and
+// a private backoff-jitter source (only this client's goroutine touches
+// it, so no locking).
+type httpClientState struct {
+	bodies [][][]byte
+	rng    *rand.Rand
 }
 
 func (hi *httpIssuer) prepare(c int) (any, error) {
@@ -292,12 +320,67 @@ func (hi *httpIssuer) prepare(c int) (any, error) {
 			bodies[fi][i] = body
 		}
 	}
-	return bodies, nil
+	return &httpClientState{bodies: bodies, rng: rand.New(rand.NewSource(o.Seed + int64(c)))}, nil
 }
 
+// Backoff for retried sheds: exponential from retryBaseDelay, capped at
+// retryMaxDelay, jittered ±25% so synchronized clients spread out instead
+// of re-stampeding the queue they were just shed from.
+const (
+	retryBaseDelay = 50 * time.Millisecond
+	retryMaxDelay  = 2 * time.Second
+)
+
 func (hi *httpIssuer) solve(ctx context.Context, reqs any, fi, slot int) error {
-	_, err := hi.cl.SolveBytes(ctx, reqs.([][][]byte)[fi][slot])
-	return err
+	st := reqs.(*httpClientState)
+	for attempt := 0; ; attempt++ {
+		_, err := hi.cl.SolveBytes(ctx, st.bodies[fi][slot])
+		if err == nil || attempt >= hi.o.Retries {
+			return err
+		}
+		var se *serve.StatusError
+		if !errors.As(err, &se) || !se.Shed() {
+			return err
+		}
+		if se.Code == http.StatusTooManyRequests {
+			hi.retries429.Add(1)
+		} else {
+			hi.retries503.Add(1)
+		}
+		if serr := sleepBackoff(ctx, st.rng, attempt, se.RetryAfter); serr != nil {
+			// The run deadline cut the backoff short: surface the original
+			// shed so the caller's shed accounting (not the error path)
+			// handles it.
+			return err
+		}
+	}
+}
+
+// sleepBackoff waits before a retry: the server's Retry-After hint when it
+// sent one, jittered exponential backoff otherwise. Returns ctx.Err() when
+// the context expires first.
+func sleepBackoff(ctx context.Context, rng *rand.Rand, attempt int, retryAfterSec int) error {
+	var d time.Duration
+	if retryAfterSec > 0 {
+		// The server named a delay: never retry before it, jitter only
+		// upward (+0–25%) to de-synchronize the herd it shed together.
+		d = time.Duration(retryAfterSec) * time.Second
+		d += time.Duration(0.25 * float64(d) * rng.Float64())
+	} else {
+		d = retryBaseDelay << attempt
+		if d > retryMaxDelay || d <= 0 {
+			d = retryMaxDelay
+		}
+		d = time.Duration(float64(d) * (0.75 + 0.5*rng.Float64()))
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 func sortDurations(ds []time.Duration) {

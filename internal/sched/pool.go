@@ -9,10 +9,28 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 )
+
+// TaskPanic is the panic value re-raised on a joining caller when a pool
+// task panicked. Carrying the original value and the worker's stack as a
+// typed payload (rather than a formatted string) lets a recover boundary
+// upstream — pbmg's Service — classify the failure and report where it
+// happened, even though the worker goroutine's own stack is gone by the
+// time the join re-panics.
+type TaskPanic struct {
+	// Value is the task's original panic value.
+	Value any
+	// Stack is the worker goroutine's stack at the point of the panic.
+	Stack []byte
+}
+
+func (tp *TaskPanic) String() string {
+	return fmt.Sprintf("sched: task panic: %v", tp.Value)
+}
 
 // task is one schedulable unit. Tasks belong to a region (a ParallelFor or
 // Do call) whose remaining-counter joins them.
@@ -157,11 +175,18 @@ func (p *Pool) anyWork() bool {
 }
 
 // execute runs one task, converting a panic into a region-level failure that
-// is re-raised on the joining goroutine.
+// is re-raised on the joining goroutine as a *TaskPanic. A panic that is
+// already a *TaskPanic (a nested region's join re-panicking inside this
+// task) is stored as-is, so the outermost caller sees the innermost
+// failure once, not a wrapper per nesting level.
 func (p *Pool) execute(t *task) {
 	defer func() {
 		if r := recover(); r != nil {
-			t.region.panicked.CompareAndSwap(nil, fmt.Sprintf("sched: task panic: %v", r))
+			tp, ok := r.(*TaskPanic)
+			if !ok {
+				tp = &TaskPanic{Value: r, Stack: debug.Stack()}
+			}
+			t.region.panicked.CompareAndSwap(nil, tp)
 		}
 		t.region.remaining.Add(-1)
 	}()

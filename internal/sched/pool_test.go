@@ -112,8 +112,15 @@ func TestTaskPanicPropagatesToCaller(t *testing.T) {
 		if r == nil {
 			t.Fatal("panic did not propagate")
 		}
-		if !strings.Contains(r.(string), "boom") {
-			t.Fatalf("unexpected panic payload: %v", r)
+		tp, ok := r.(*TaskPanic)
+		if !ok {
+			t.Fatalf("panic payload is %T, want *TaskPanic", r)
+		}
+		if !strings.Contains(tp.String(), "boom") {
+			t.Fatalf("unexpected panic payload: %v", tp)
+		}
+		if len(tp.Stack) == 0 {
+			t.Fatal("TaskPanic carries no worker stack")
 		}
 	}()
 	p.ParallelFor(0, 64, 1, func(lo, hi int) {

@@ -33,6 +33,7 @@ import (
 	"strings"
 	"sync"
 
+	"pbmg/internal/faultinject"
 	"pbmg/internal/grid"
 	"pbmg/internal/sched"
 	"pbmg/internal/transfer"
@@ -380,6 +381,12 @@ func (op *Operator) SORSweepRB(pool *sched.Pool, x, b *grid.Grid, h, omega float
 // OpSORSweepRB is the precision-generic red-black SOR sweep: one full sweep
 // for op, in place on a grid of either storage precision.
 func OpSORSweepRB[T grid.Float](op *Operator, pool *sched.Pool, x, b *grid.G[T], h, omega T) {
+	if faultinject.Enabled {
+		// The slow-kernel injection point: every SOR path — in-cycle
+		// smoothing, the iterative shortcut, the NoFuse oracle — sweeps
+		// through here or OpSORSweeps, so an armed delay stretches any solve.
+		faultinject.Point("stencil.sweep")
+	}
 	switch op.family {
 	case FamilyPoisson:
 		SORSweepRB(pool, x, b, h, omega)
@@ -696,6 +703,11 @@ func (op *Operator) SmoothResidualRestrict(pool *sched.Pool, coarse, x, b, r *gr
 // OpSmoothResidualRestrict is the precision-generic fused V-cycle
 // downstroke for op.
 func OpSmoothResidualRestrict[T grid.Float](op *Operator, pool *sched.Pool, coarse, x, b, r *grid.G[T], h, omega T) {
+	if faultinject.Enabled {
+		// The fused downstroke carries the cycle's smoothing sweep, so the
+		// slow-kernel injection covers it alongside the plain SOR paths.
+		faultinject.Point("stencil.sweep")
+	}
 	switch op.family {
 	case FamilyPoisson:
 		smoothResidualRestrict(pool, coarse, x, b, r, h, omega)

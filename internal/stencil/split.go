@@ -29,6 +29,7 @@ package stencil
 import (
 	"sync"
 
+	"pbmg/internal/faultinject"
 	"pbmg/internal/grid"
 	"pbmg/internal/sched"
 )
@@ -111,6 +112,9 @@ func (op *Operator) SORSweeps(pool *sched.Pool, x, b *grid.Grid, h, omega float6
 
 // OpSORSweeps is the precision-generic edition of Operator.SORSweeps.
 func OpSORSweeps[T grid.Float](op *Operator, pool *sched.Pool, x, b *grid.G[T], h, omega T, sweeps int) {
+	if faultinject.Enabled {
+		faultinject.Point("stencil.sweep") // slow-kernel injection: one hit per sweeps-call
+	}
 	if !SplitWorthwhile(x.Dim(), x.N(), sweeps) {
 		for s := 0; s < sweeps; s++ {
 			OpSORSweepRB(op, pool, x, b, h, omega)

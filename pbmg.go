@@ -25,9 +25,12 @@
 package pbmg
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"pbmg/internal/arch"
 	"pbmg/internal/core"
@@ -191,6 +194,14 @@ type Solver struct {
 	ws    *mg.Workspace
 	pool  *sched.Pool
 
+	// reducedPrec is true when any tuned plan carries an f32 or mixed
+	// precision directive — only then does a solve snapshot its input state,
+	// so the pure-f64 fast path pays nothing for the escalation machinery.
+	reducedPrec bool
+	// escalations counts solves that diverged at reduced precision and were
+	// retried (successfully or not) at forced float64.
+	escalations atomic.Int64
+
 	// defMu guards defSvc, the lazily-created default service behind
 	// DefaultService that SolveBatch routes through so its completion counts
 	// are observable. A mutex (not sync.Once) so Registry.Register can
@@ -198,6 +209,16 @@ type Solver struct {
 	defMu  sync.Mutex
 	defSvc *Service
 }
+
+// ErrCancelled marks a solve aborted between cycles or levels because its
+// context was done. The error also wraps the context's own sentinel
+// (context.Canceled or context.DeadlineExceeded).
+var ErrCancelled = mg.ErrCancelled
+
+// ErrDiverged marks a solve whose iterate went non-finite or whose residual
+// blew up instead of contracting. Reduced-precision solves retry once at
+// forced float64 before surfacing it (see Solver.Escalations).
+var ErrDiverged = mg.ErrDiverged
 
 // Tune trains a solver for the given options by running the paper's
 // dynamic-programming autotuner.
@@ -283,7 +304,15 @@ func newSolver(tuned *core.Tuned, pool *sched.Pool) (*Solver, error) {
 	ws := mg.NewWorkspace(pool)
 	ws.CacheDirectFactor = true // production solves reuse factorizations
 	ws.Op = op
-	return &Solver{tuned: tuned, ws: ws, pool: pool}, nil
+	s := &Solver{tuned: tuned, ws: ws, pool: pool}
+	for _, row := range tuned.V.Plans {
+		for _, p := range row {
+			if p.Precision == mg.PrecF32 || p.Precision == mg.PrecMixed {
+				s.reducedPrec = true
+			}
+		}
+	}
+	return s, nil
 }
 
 func closePool(p *sched.Pool) {
@@ -376,7 +405,35 @@ func (s *Solver) Solve(x, b *Grid, accuracy float64) error {
 	return s.solve(x, b, accuracy, true, nil)
 }
 
+// SolveContext is Solve with cooperative cancellation: the solve polls ctx
+// between V-cycles and between levels of deep cycles, and once ctx is done
+// it aborts within roughly one cycle's latency with an error wrapping both
+// ErrCancelled and the context's own sentinel. All pooled scratch is
+// returned on the abort path; the grid x is left mid-iteration and must not
+// be reused as a partial answer.
+func (s *Solver) SolveContext(ctx context.Context, x, b *Grid, accuracy float64) error {
+	return s.solveCtx(ctx, x, b, accuracy, true, nil)
+}
+
+// SolveVContext is SolveV with cooperative cancellation (see SolveContext).
+func (s *Solver) SolveVContext(ctx context.Context, x, b *Grid, accuracy float64) error {
+	return s.solveCtx(ctx, x, b, accuracy, false, nil)
+}
+
+// Escalations returns the number of solves that diverged at a tuned reduced
+// precision and were retried at forced float64 — a nonzero value means the
+// tuned f32/mixed tables are being pushed past their dynamic range by the
+// live traffic, worth re-tuning for.
+func (s *Solver) Escalations() int64 { return s.escalations.Load() }
+
 func (s *Solver) solve(x, b *Grid, accuracy float64, full bool, rec mg.Recorder) error {
+	return s.solveCtx(nil, x, b, accuracy, full, rec)
+}
+
+// solveCtx runs one tuned solve with the full control plane: cooperative
+// cancellation from ctx (nil: none), divergence detection, and one
+// precision-escalation retry when a reduced-precision plan diverges.
+func (s *Solver) solveCtx(ctx context.Context, x, b *Grid, accuracy float64, full bool, rec mg.Recorder) error {
 	if err := s.checkSize(x); err != nil {
 		return err
 	}
@@ -384,18 +441,55 @@ func (s *Solver) solve(x, b *Grid, accuracy float64, full bool, rec mg.Recorder)
 	if err != nil {
 		return err
 	}
-	// One executor per solve keeps the recorder private to this call; the
-	// workspace and tables behind it are shared and concurrency-safe.
-	ex := mg.Executor{WS: s.ws, V: s.tuned.V, F: s.tuned.F, Rec: rec}
-	if full {
-		if s.tuned.F == nil {
-			return fmt.Errorf("pbmg: solver has no tuned full-multigrid table")
-		}
-		ex.SolveFull(x, b, idx)
-	} else {
-		ex.SolveV(x, b, idx)
+	if full && s.tuned.F == nil {
+		return fmt.Errorf("pbmg: solver has no tuned full-multigrid table")
 	}
-	return nil
+	// One executor per solve keeps the recorder and context private to this
+	// call; the workspace and tables behind it are shared and
+	// concurrency-safe.
+	ex := mg.Executor{WS: s.ws, V: s.tuned.V, F: s.tuned.F, Rec: rec}
+	if ctx != nil && ctx.Done() != nil {
+		ex.Ctx = ctx
+	}
+	// Divergence of a reduced-precision plan gets one retry at forced
+	// float64, restarted from the caller's original state — the diverged
+	// attempt has already scribbled on x. Pure-f64 tables skip the snapshot
+	// (and can't escalate: a divergence there is the input's fault).
+	var x0 *Grid
+	if s.reducedPrec {
+		x0 = x.Clone()
+	}
+	run := func() error {
+		return ex.Run(func() {
+			if full {
+				ex.SolveFull(x, b, idx)
+			} else {
+				ex.SolveV(x, b, idx)
+			}
+		})
+	}
+	err = run()
+	if err == nil && grid.HasNonFinite(x) {
+		// The in-cycle guards cover the f32/mixed/adaptive shapes; the plain
+		// f64 V-cycle and direct shapes have none, so vet every answer here —
+		// a serving layer must never hand back a NaN grid as a success.
+		err = fmt.Errorf("%w: solve produced a non-finite iterate", mg.ErrDiverged)
+	}
+	if err != nil && x0 != nil && errors.Is(err, mg.ErrDiverged) {
+		s.escalations.Add(1)
+		x.CopyFrom(x0)
+		ex.ForceF64 = true
+		if err = run(); err != nil {
+			return err
+		}
+		// The escalated answer passes the same vet before declaring victory
+		// over the original divergence.
+		if grid.HasNonFinite(x) {
+			return fmt.Errorf("%w: float64 escalation still produced a non-finite iterate", mg.ErrDiverged)
+		}
+		return nil
+	}
+	return err
 }
 
 // CycleShape renders the tuned cycle the solver would execute for a problem
@@ -508,8 +602,15 @@ func (s *Solver) SolveAdaptive(x, b *Grid, residualReduction float64) (iters int
 	if residualReduction < 1 {
 		return 0, 0, fmt.Errorf("pbmg: residual reduction %g must be ≥ 1", residualReduction)
 	}
-	a := mg.AdaptiveSolver{Ex: &mg.Executor{WS: s.ws, V: s.tuned.V}} // per-call executor: concurrency-safe
-	res := a.Solve(x, b, residualReduction, 0)
+	ex := &mg.Executor{WS: s.ws, V: s.tuned.V} // per-call executor: concurrency-safe
+	a := mg.AdaptiveSolver{Ex: ex}
+	var res mg.AdaptiveResult
+	// The adaptive loop carries a divergence guard (a blown-up residual
+	// aborts instead of iterating to MaxIters on garbage); Run converts that
+	// abort into ErrDiverged here.
+	if err := ex.Run(func() { res = a.Solve(x, b, residualReduction, 0) }); err != nil {
+		return 0, 0, err
+	}
 	return res.Iters, res.Reduction, nil
 }
 

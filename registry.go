@@ -104,6 +104,10 @@ type RegistryOptions struct {
 	// FactorCacheCap bounds the shared direct-factor cache (0:
 	// DefaultFactorCacheCap; < 0: unbounded).
 	FactorCacheCap int
+	// Breaker configures every registered family's circuit breaker (the
+	// zero value selects the defaults; the breakers themselves are
+	// per-family, so one family melting down never trips the others).
+	Breaker BreakerConfig
 }
 
 // Registry serves several tuned operator families from one process. Each
@@ -113,9 +117,10 @@ type RegistryOptions struct {
 // number of goroutines may Lookup and Solve while families are being
 // registered. Release with Close.
 type Registry struct {
-	pool  *sched.Pool
-	cache *direct.Cache
-	sem   chan struct{}
+	pool       *sched.Pool
+	cache      *direct.Cache
+	sem        chan struct{}
+	breakerCfg BreakerConfig
 
 	unroutable atomic.Int64
 
@@ -143,10 +148,11 @@ func NewRegistry(o RegistryOptions) *Registry {
 		cacheCap = 0 // direct.NewCache treats ≤ 0 as unbounded
 	}
 	return &Registry{
-		pool:     pool,
-		cache:    direct.NewCache(cacheCap),
-		sem:      make(chan struct{}, maxInFlight),
-		services: make(map[ServeKey]*Service),
+		pool:       pool,
+		cache:      direct.NewCache(cacheCap),
+		sem:        make(chan struct{}, maxInFlight),
+		breakerCfg: o.Breaker,
+		services:   make(map[ServeKey]*Service),
 	}
 }
 
@@ -195,7 +201,7 @@ func (r *Registry) registerLocked(s *Solver) *Service {
 	key := serveKeyOf(s)
 	s.ws.Pool = r.pool
 	s.ws.FactorCache = r.cache
-	svc := newService(s, r.sem)
+	svc := newService(s, r.sem, r.breakerCfg)
 	// The registry service becomes the solver's default service even if a
 	// private one was already created before registration, so
 	// Solver.SolveBatch always honors the global limit and its completions
@@ -358,10 +364,12 @@ func (r *Registry) Solve(f Family, eps float64, x, b *Grid, accuracy float64) er
 	return svc.Solve(x, b, accuracy)
 }
 
-// FamilyMetrics is one family's counters in a registry snapshot.
+// FamilyMetrics is one family's counters in a registry snapshot, plus its
+// circuit-breaker state ("closed", "open", "half-open").
 type FamilyMetrics struct {
 	Key ServeKey
 	ServiceMetrics
+	Breaker string
 }
 
 // RegistryMetrics is a point-in-time snapshot of the registry's request
@@ -380,8 +388,9 @@ func (r *Registry) Metrics() RegistryMetrics {
 	defer r.mu.RUnlock()
 	m := RegistryMetrics{Unroutable: r.unroutable.Load()}
 	for _, k := range r.order {
-		sm := r.services[k].Metrics()
-		m.Families = append(m.Families, FamilyMetrics{Key: k, ServiceMetrics: sm})
+		svc := r.services[k]
+		sm := svc.Metrics()
+		m.Families = append(m.Families, FamilyMetrics{Key: k, ServiceMetrics: sm, Breaker: svc.BreakerState()})
 		m.Aggregate.Add(sm)
 	}
 	return m

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"pbmg"
+	"pbmg/internal/faultinject"
 )
 
 // A catalog is one immutable generation of the serving state: a registry
@@ -178,6 +179,13 @@ func ParseQuotaSpec(spec string) (map[string]int, error) {
 // directory fails the build and the caller keeps serving its current
 // catalog.
 func buildCatalog(cfg Config) (*catalog, error) {
+	if faultinject.Enabled {
+		// Chaos coverage for the reload path: an injected error here must
+		// leave the live catalog serving untouched, like any bad config dir.
+		if err := faultinject.PointErr("serve.reload"); err != nil {
+			return nil, err
+		}
+	}
 	// When every served family will carry a positive quota the global
 	// registry limit is set to the quota sum, so the per-family gates are
 	// the binding constraint and the global semaphore never re-introduces
@@ -186,6 +194,7 @@ func buildCatalog(cfg Config) (*catalog, error) {
 	reg := pbmg.NewRegistry(pbmg.RegistryOptions{
 		Workers:     cfg.Workers,
 		MaxInFlight: cfg.globalLimit(),
+		Breaker:     cfg.Breaker,
 	})
 	services, err := reg.LoadDir(cfg.Dir)
 	if err != nil {

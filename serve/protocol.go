@@ -26,10 +26,11 @@ type SolveRequest struct {
 	// X optionally carries the Dirichlet boundary and initial guess; when
 	// absent the solve starts from the zero grid (zero boundary).
 	X []float64 `json:"x,omitempty"`
-	// DeadlineMs bounds the ADMISSION wait server-side: a request still
+	// DeadlineMs bounds the WHOLE request server-side: a request still
 	// queued behind its family quota when the deadline expires is shed with
-	// 503 instead of waiting indefinitely. 0 falls back to the server's
-	// MaxWait. An admitted solve always runs to completion.
+	// 503, and an admitted solve still running is cancelled cooperatively at
+	// its next cycle or level boundary (also 503, within roughly one cycle's
+	// latency). 0 falls back to the server's MaxWait.
 	DeadlineMs int64 `json:"deadlineMs,omitempty"`
 }
 
@@ -120,6 +121,21 @@ type FamilyStatus struct {
 	Shed      int64 `json:"shed"`
 	Waiting   int64 `json:"waiting"`
 	InFlight  int64 `json:"inFlight"`
+	// Failure classes (subsets of Failed): solves cancelled mid-cycle by
+	// their deadline, solves that diverged numerically, and solves that hit
+	// a recovered panic. Escalations counts reduced-precision solves retried
+	// at float64 after diverging (success or not) — nonzero means live
+	// traffic is pushing the tuned f32/mixed tables past their range.
+	Cancelled   int64 `json:"cancelled"`
+	Diverged    int64 `json:"diverged"`
+	Panicked    int64 `json:"panicked"`
+	Escalations int64 `json:"escalations"`
+	// Breaker is the family's circuit-breaker state ("closed", "open",
+	// "half-open"); BreakerShed counts requests it turned away and
+	// BreakerOpens its closed→open transitions.
+	Breaker      string `json:"breaker"`
+	BreakerShed  int64  `json:"breakerShed"`
+	BreakerOpens int64  `json:"breakerOpens"`
 	// QueueLen is the gauge of requests queued behind the quota right now;
 	// ShedQueueFull and ShedDeadline count 429s (queue full) and 503s
 	// (deadline expired while queued) at the HTTP admission layer.
@@ -147,6 +163,9 @@ type Metrics struct {
 		Shed      int64 `json:"shed"`
 		Waiting   int64 `json:"waiting"`
 		InFlight  int64 `json:"inFlight"`
+		Cancelled int64 `json:"cancelled"`
+		Diverged  int64 `json:"diverged"`
+		Panicked  int64 `json:"panicked"`
 	} `json:"aggregate"`
 	// Unroutable counts requests for families the catalog does not serve;
 	// ShedDraining counts requests refused because the server was draining.

@@ -7,13 +7,20 @@
 // graceful drain — the paper's tune-once/serve-many model (§3.2.1) put on
 // the network.
 //
+// The failure paths are first-class: request deadlines cancel admitted
+// solves mid-cycle (503), diverged and panicked solves answer 500 while the
+// daemon keeps serving, and each family's circuit breaker sheds with 503 +
+// Retry-After after consecutive solver failures until a probe recloses it.
+//
 // Endpoints:
 //
 //	POST /v1/solve   one solve (SolveRequest → SolveResponse)
 //	POST /v1/batch   one family's batch (BatchRequest → BatchResponse)
 //	GET  /metrics    serving counters (Metrics)
-//	GET  /healthz    200 while serving, 503 while draining
+//	GET  /healthz    200 while the process serves, 503 while draining
+//	GET  /readyz     readiness: catalog loaded, breakers, drain state
 //	POST /-/reload   rebuild the catalog from the config dir and swap it
+//	POST /-/fault    chaos builds only (faultinject tag): arm fault spec
 package serve
 
 import (
@@ -21,12 +28,17 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"math"
 	"net/http"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"pbmg"
+	"pbmg/internal/faultinject"
 )
 
 // DefaultMaxWait bounds the admission wait of requests that carry no
@@ -56,9 +68,14 @@ type Config struct {
 	// QueueDepth bounds each family's admission queue; beyond it requests
 	// are shed with 429 (≤ 0: 4× the family's quota).
 	QueueDepth int
-	// MaxWait bounds the admission wait of requests without their own
-	// DeadlineMs (0: DefaultMaxWait).
+	// MaxWait bounds requests without their own DeadlineMs: admission wait
+	// and solve together (0: DefaultMaxWait). Like DeadlineMs, it is a full
+	// request timeout — an admitted solve still running when it expires is
+	// cancelled at its next cycle boundary.
 	MaxWait time.Duration
+	// Breaker configures every family's circuit breaker (zero value: the
+	// pbmg defaults).
+	Breaker pbmg.BreakerConfig
 	// Logf, when non-nil, receives serving events (reloads, drain).
 	Logf func(format string, args ...any)
 }
@@ -102,7 +119,13 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("POST /-/reload", s.handleReload)
+	if faultinject.Enabled {
+		// The chaos endpoint exists only in faultinject builds; production
+		// binaries never register it.
+		mux.HandleFunc("POST /-/fault", s.handleFault)
+	}
 	s.mux = mux
 	s.logf("serving %d families from %s (version 1)", len(c.order), cfg.Dir)
 	return s, nil
@@ -192,17 +215,30 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 // writeError maps an error to its HTTP status: queue-full sheds are 429
-// with Retry-After, admission-deadline and drain sheds 503 with
-// Retry-After, routing misses 404, everything else the given fallback.
+// with Retry-After; breaker sheds, admission-deadline sheds, cancelled
+// solves, and other load sheds 503 with Retry-After (the breaker's own
+// suggested delay when it has one); diverged and panicked solves are 500
+// (the request failed inside the solver, the daemon is fine); routing
+// misses 404; everything else the given fallback.
 func writeError(w http.ResponseWriter, err error, fallback int) {
 	status := fallback
+	var boe *pbmg.BreakerOpenError
 	switch {
 	case errors.Is(err, errQueueFull):
 		status = http.StatusTooManyRequests
 		w.Header().Set("Retry-After", "1")
-	case errors.Is(err, errAdmissionDeadline), errors.Is(err, pbmg.ErrShed):
+	case errors.As(err, &boe):
+		status = http.StatusServiceUnavailable
+		secs := int64(math.Ceil(boe.RetryAfter.Seconds()))
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	case errors.Is(err, errAdmissionDeadline), errors.Is(err, pbmg.ErrShed), errors.Is(err, pbmg.ErrCancelled):
 		status = http.StatusServiceUnavailable
 		w.Header().Set("Retry-After", "1")
+	case errors.Is(err, pbmg.ErrDiverged), errors.Is(err, pbmg.ErrPanicked):
+		status = http.StatusInternalServerError
 	}
 	writeJSON(w, status, ErrorResponse{Error: err.Error()})
 }
@@ -214,9 +250,11 @@ func (s *Server) shedDrainingNow(w http.ResponseWriter) {
 	writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: "serve: server is draining"})
 }
 
-// requestContext derives the admission-bounding context: the request's
-// own DeadlineMs when given, the server MaxWait otherwise, composed with
-// the connection context so a gone client frees its queue slot.
+// requestContext derives the request-bounding context: the request's own
+// DeadlineMs when given, the server MaxWait otherwise, composed with the
+// connection context so a gone client frees its queue slot. The context
+// bounds the whole request — a solve still running when it expires is
+// cancelled cooperatively at its next cycle or level boundary.
 func (s *Server) requestContext(r *http.Request, deadlineMs int64) (context.Context, context.CancelFunc) {
 	wait := s.cfg.MaxWait
 	if deadlineMs > 0 {
@@ -258,11 +296,32 @@ func buildGrids(svc *pbmg.Service, n int, b, x []float64) (xg, bg *pbmg.Grid, er
 	if len(x) != 0 && len(x) != points {
 		return nil, nil, fmt.Errorf("serve: x has %d values, want %d or none", len(x), points)
 	}
+	// NaN/Inf inputs are rejected before admission: they cannot converge, at
+	// best they burn a solve slot on a guaranteed divergence error, and at
+	// worst (a poisoned boundary in x) they waste the float64 escalation
+	// retry too. Failing 400 here keeps garbage out of the solver entirely.
+	if i := firstNonFinite(b); i >= 0 {
+		return nil, nil, fmt.Errorf("serve: b[%d] is not finite", i)
+	}
+	if i := firstNonFinite(x); i >= 0 {
+		return nil, nil, fmt.Errorf("serve: x[%d] is not finite", i)
+	}
 	bg = newGrid(n)
 	copy(bg.Data(), b)
 	xg = newGrid(n)
 	copy(xg.Data(), x) // no-op when absent: zero boundary, zero guess
 	return xg, bg, nil
+}
+
+// firstNonFinite returns the index of the first NaN or ±Inf in vs, -1 when
+// all values are finite.
+func firstNonFinite(vs []float64) int {
+	for i, v := range vs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return i
+		}
+	}
+	return -1
 }
 
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
@@ -439,6 +498,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			Shed:          sm.Shed,
 			Waiting:       sm.Waiting,
 			InFlight:      sm.InFlight,
+			Cancelled:     sm.Cancelled,
+			Diverged:      sm.Diverged,
+			Panicked:      sm.Panicked,
+			Escalations:   g.svc.Solver().Escalations(),
+			Breaker:       g.svc.BreakerState(),
+			BreakerShed:   sm.BreakerShed,
+			BreakerOpens:  sm.BreakerOpens,
 			QueueLen:      g.queueLen(),
 			ShedQueueFull: g.shedQueueFull.Load(),
 			ShedDeadline:  g.shedDeadline.Load(),
@@ -453,6 +519,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		m.Aggregate.Shed += sm.Shed
 		m.Aggregate.Waiting += sm.Waiting
 		m.Aggregate.InFlight += sm.InFlight
+		m.Aggregate.Cancelled += sm.Cancelled
+		m.Aggregate.Diverged += sm.Diverged
+		m.Aggregate.Panicked += sm.Panicked
 	}
 	writeJSON(w, http.StatusOK, m)
 }
@@ -464,6 +533,65 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "version": s.version.Load()})
+}
+
+// handleReadyz answers readiness: 200 when the catalog is loaded, no
+// breaker is open, and the server is not draining; 503 + Retry-After
+// otherwise. Load balancers poll it to take a melting-down or draining
+// instance out of rotation while /healthz still reports the process alive.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	type familyReadiness struct {
+		Family  string `json:"family"`
+		Breaker string `json:"breaker"`
+	}
+	resp := struct {
+		Status   string            `json:"status"`
+		Version  int64             `json:"version"`
+		Draining bool              `json:"draining"`
+		Families []familyReadiness `json:"families,omitempty"`
+	}{Status: "ready", Version: s.version.Load(), Draining: s.draining.Load()}
+
+	ready := !resp.Draining
+	c := s.acquireCatalog()
+	if c == nil {
+		ready = false
+	} else {
+		for _, key := range c.order {
+			state := c.gates[key].svc.BreakerState()
+			resp.Families = append(resp.Families, familyReadiness{Family: key.String(), Breaker: state})
+			if state == "open" {
+				// A half-open breaker stays ready: the next request probes.
+				ready = false
+			}
+		}
+		c.release()
+	}
+	if !ready {
+		resp.Status = "not ready"
+		w.Header().Set("Retry-After", "2")
+		writeJSON(w, http.StatusServiceUnavailable, resp)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleFault (chaos builds only) arms the fault spec in the request body,
+// replacing whatever was armed before; an empty body just clears. See
+// internal/faultinject for the spec syntax.
+func (s *Server) handleFault(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 64<<10))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "serve: bad fault body: " + err.Error()})
+		return
+	}
+	faultinject.Clear()
+	if spec := strings.TrimSpace(string(body)); spec != "" {
+		if err := faultinject.ArmSpec(spec); err != nil {
+			writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "armed", "faults": faultinject.Armed()})
 }
 
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {

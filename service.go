@@ -5,8 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+
+	"pbmg/internal/sched"
 )
 
 // This file is the serving front end over a tuned Solver: SolveBatch fans a
@@ -44,8 +47,9 @@ func (s *Solver) SolveBatch(problems []BatchProblem, accuracy float64) error {
 // created by a Registry share one admission semaphore, so the limit is
 // global across every family the registry serves.
 type Service struct {
-	s   *Solver
-	sem chan struct{}
+	s       *Solver
+	sem     chan struct{}
+	breaker *breaker
 
 	admitted  atomic.Int64
 	completed atomic.Int64
@@ -53,6 +57,11 @@ type Service struct {
 	shed      atomic.Int64
 	waiting   atomic.Int64
 	inFlight  atomic.Int64
+
+	// Failure-class counters: every one of these also counts in failed.
+	cancelled atomic.Int64
+	diverged  atomic.Int64
+	panicked  atomic.Int64
 }
 
 // ErrShed marks a request that was turned away at admission — its context
@@ -66,10 +75,16 @@ var ErrShed = errors.New("pbmg: request shed at admission")
 // of those, Completed finished successfully and Failed returned a solve
 // error (size or accuracy outside the tuned range, or an internal failure).
 // Shed counts requests turned away at admission — their context expired
-// before a slot freed — which never run a solve at all; keeping them out of
-// Failed means load-shedding and broken requests stay distinguishable.
-// Waiting is the gauge of requests currently blocked in admission, InFlight
-// the gauge of solves currently running.
+// before a slot freed, or the circuit breaker was open — which never run a
+// solve at all; keeping them out of Failed means load-shedding and broken
+// requests stay distinguishable. Waiting is the gauge of requests currently
+// blocked in admission, InFlight the gauge of solves currently running.
+//
+// The failure-class counters split Failed by what went wrong: Cancelled
+// solves were aborted mid-solve by their context, Diverged solves blew up
+// numerically (after any float64 escalation retry), Panicked solves hit a
+// recovered panic. BreakerShed counts the subset of Shed turned away by an
+// open circuit breaker, and BreakerOpens counts closed→open transitions.
 type ServiceMetrics struct {
 	Admitted  int64
 	Completed int64
@@ -77,6 +92,12 @@ type ServiceMetrics struct {
 	Shed      int64
 	Waiting   int64
 	InFlight  int64
+
+	Cancelled    int64
+	Diverged     int64
+	Panicked     int64
+	BreakerShed  int64
+	BreakerOpens int64
 }
 
 // Add accumulates m into the receiver (for aggregating per-family metrics).
@@ -87,21 +108,29 @@ func (sm *ServiceMetrics) Add(m ServiceMetrics) {
 	sm.Shed += m.Shed
 	sm.Waiting += m.Waiting
 	sm.InFlight += m.InFlight
+	sm.Cancelled += m.Cancelled
+	sm.Diverged += m.Diverged
+	sm.Panicked += m.Panicked
+	sm.BreakerShed += m.BreakerShed
+	sm.BreakerOpens += m.BreakerOpens
 }
 
 // NewService returns a serving front end admitting at most maxInFlight
-// concurrent solves (≤ 0 selects 2×GOMAXPROCS).
+// concurrent solves (≤ 0 selects 2×GOMAXPROCS), with a default-configured
+// circuit breaker.
 func (s *Solver) NewService(maxInFlight int) *Service {
 	if maxInFlight <= 0 {
 		maxInFlight = 2 * runtime.GOMAXPROCS(0)
 	}
-	return newService(s, make(chan struct{}, maxInFlight))
+	return newService(s, make(chan struct{}, maxInFlight), BreakerConfig{})
 }
 
 // newService wraps a solver around an admission semaphore, which may be
 // shared with other services (Registry shares one across all families).
-func newService(s *Solver, sem chan struct{}) *Service {
-	return &Service{s: s, sem: sem}
+// The circuit breaker is per-service: one family melting down must not
+// stop the others.
+func newService(s *Solver, sem chan struct{}, bc BreakerConfig) *Service {
+	return &Service{s: s, sem: sem, breaker: newBreaker(bc)}
 }
 
 // DefaultService returns the solver's lazily-created default service,
@@ -153,14 +182,23 @@ func (sv *Service) Completed() int64 { return sv.completed.Load() }
 // exact).
 func (sv *Service) Metrics() ServiceMetrics {
 	return ServiceMetrics{
-		Admitted:  sv.admitted.Load(),
-		Completed: sv.completed.Load(),
-		Failed:    sv.failed.Load(),
-		Shed:      sv.shed.Load(),
-		Waiting:   sv.waiting.Load(),
-		InFlight:  sv.inFlight.Load(),
+		Admitted:     sv.admitted.Load(),
+		Completed:    sv.completed.Load(),
+		Failed:       sv.failed.Load(),
+		Shed:         sv.shed.Load(),
+		Waiting:      sv.waiting.Load(),
+		InFlight:     sv.inFlight.Load(),
+		Cancelled:    sv.cancelled.Load(),
+		Diverged:     sv.diverged.Load(),
+		Panicked:     sv.panicked.Load(),
+		BreakerShed:  sv.breaker.shed.Load(),
+		BreakerOpens: sv.breaker.opens.Load(),
 	}
 }
+
+// BreakerState reports the service's circuit-breaker state: "closed",
+// "open", or "half-open".
+func (sv *Service) BreakerState() string { return sv.breaker.stateName() }
 
 // Solve admits one tuned FULL-MULTIGRID solve, blocking while MaxInFlight
 // solves are already running. See Solver.Solve.
@@ -168,14 +206,15 @@ func (sv *Service) Solve(x, b *Grid, accuracy float64) error {
 	return sv.admit(context.Background(), func() error { return sv.s.Solve(x, b, accuracy) })
 }
 
-// SolveContext admits one tuned FULL-MULTIGRID solve with the admission
-// wait bounded by ctx: if the context is cancelled or its deadline expires
-// before a slot frees, the request is shed (an ErrShed error, counted in
-// Shed) instead of waiting indefinitely behind MaxInFlight running solves.
-// A solve that has been admitted runs to completion; the deadline bounds
-// the queueing, not the computation.
+// SolveContext admits one tuned FULL-MULTIGRID solve bounded by ctx at
+// every stage: if the context is cancelled or its deadline expires before a
+// slot frees, the request is shed (an ErrShed error, counted in Shed)
+// instead of waiting indefinitely behind MaxInFlight running solves; once
+// admitted, the solve itself polls ctx between cycles and levels and aborts
+// with an error wrapping ErrCancelled (counted in Cancelled) within roughly
+// one cycle's latency.
 func (sv *Service) SolveContext(ctx context.Context, x, b *Grid, accuracy float64) error {
-	return sv.admit(ctx, func() error { return sv.s.Solve(x, b, accuracy) })
+	return sv.admit(ctx, func() error { return sv.s.solveCtx(ctx, x, b, accuracy, true, nil) })
 }
 
 // SolveV admits one tuned MULTIGRID-V solve. See Solver.SolveV.
@@ -203,6 +242,15 @@ func (sv *Service) admit(ctx context.Context, solve func() error) error {
 		sv.shed.Add(1)
 		return fmt.Errorf("%w: %v", ErrShed, err)
 	}
+	// The breaker gate sits before the semaphore so an open breaker sheds
+	// instantly instead of queueing doomed requests behind healthy families'
+	// traffic. Breaker sheds wrap ErrShed (generic retryable handling) and
+	// ErrBreakerOpen (the Retry-After detail).
+	probe, berr := sv.breaker.allow()
+	if berr != nil {
+		sv.shed.Add(1)
+		return fmt.Errorf("%w: %w", ErrShed, berr)
+	}
 	sv.waiting.Add(1)
 	select {
 	case sv.sem <- struct{}{}:
@@ -210,6 +258,9 @@ func (sv *Service) admit(ctx context.Context, solve func() error) error {
 	case <-ctx.Done():
 		sv.waiting.Add(-1)
 		sv.shed.Add(1)
+		// Never ran: no evidence for the breaker either way (and a probe
+		// slot is released for the next request).
+		sv.breaker.record(probe, breakerNeutral)
 		return fmt.Errorf("%w: %v", ErrShed, ctx.Err())
 	}
 	sv.admitted.Add(1)
@@ -218,13 +269,63 @@ func (sv *Service) admit(ctx context.Context, solve func() error) error {
 		sv.inFlight.Add(-1)
 		<-sv.sem
 	}()
-	err := solve()
-	if err == nil {
+	err := sv.protect(solve)
+	sv.breaker.record(probe, breakerOutcomeOf(err))
+	switch {
+	case err == nil:
 		sv.completed.Add(1)
-	} else {
+	default:
 		sv.failed.Add(1)
+		switch {
+		case errors.Is(err, ErrCancelled):
+			sv.cancelled.Add(1)
+		case errors.Is(err, ErrDiverged):
+			sv.diverged.Add(1)
+		case errors.Is(err, ErrPanicked):
+			sv.panicked.Add(1)
+		}
 	}
 	return err
+}
+
+// protect runs one solve with panic containment: a panic anywhere inside
+// the solver — a kernel bug, an injected fault, a pool-task panic re-raised
+// at its join — is recovered here, at the Service boundary, into a
+// *PanicError, so one poisoned request costs one failed response instead of
+// the process. By the time the panic reaches this frame the solver's
+// unwind has already returned every pooled scratch buffer (the workspace's
+// checkout/release balancing is deferred), so the next request starts
+// clean.
+func (sv *Service) protect(solve func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if tp, ok := r.(*sched.TaskPanic); ok {
+				// A pool-worker panic: surface the task's own value and the
+				// worker's stack, not this recovery goroutine's.
+				err = &PanicError{Value: tp.Value, Stack: tp.Stack}
+				return
+			}
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return solve()
+}
+
+// breakerOutcomeOf classifies a solve error for the circuit breaker: only
+// infrastructure failures (divergence, panics) count toward opening it;
+// cancellations are neutral, and client errors (bad size, unreachable
+// accuracy) plus successes count as OK.
+func breakerOutcomeOf(err error) breakerOutcome {
+	switch {
+	case err == nil:
+		return breakerOK
+	case errors.Is(err, ErrDiverged), errors.Is(err, ErrPanicked):
+		return breakerInfraFailure
+	case errors.Is(err, ErrCancelled):
+		return breakerNeutral
+	default:
+		return breakerOK
+	}
 }
 
 // SolveBatch solves every problem concurrently through this service's
